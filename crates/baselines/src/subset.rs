@@ -1,0 +1,240 @@
+//! Weighted k-subset sampling (conditional Poisson sampling) in the log
+//! domain.
+//!
+//! The Subset Exponential Mechanism draws a k-subset `S` of the cell domain
+//! with probability proportional to `Π_{u∈S} w_u`. That distribution is
+//! classical *conditional Poisson sampling*; both exact sequential sampling
+//! and exact inclusion probabilities reduce to elementary symmetric
+//! polynomials `e_j(w)`, which this module computes with the stable
+//! log-domain recurrence `e_j(w_{i..}) = e_j(w_{i+1..}) + w_i·e_{j−1}(w_{i+1..})`.
+
+use rand::Rng;
+
+/// `ln(e^a + e^b)` without overflow.
+fn log_add(a: f64, b: f64) -> f64 {
+    if a == f64::NEG_INFINITY {
+        return b;
+    }
+    if b == f64::NEG_INFINITY {
+        return a;
+    }
+    let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+    hi + (lo - hi).exp().ln_1p()
+}
+
+/// Backward table of log elementary symmetric polynomials:
+/// `table[i][j] = ln e_j(w_i, …, w_{n−1})`, for `0 ≤ i ≤ n`, `0 ≤ j ≤ k`.
+#[derive(Debug, Clone)]
+pub struct LogEsp {
+    n: usize,
+    k: usize,
+    /// Row-major `(n+1) × (k+1)`.
+    table: Vec<f64>,
+}
+
+impl LogEsp {
+    /// Builds the table from log-weights `lw[i] = ln w_i`.
+    ///
+    /// # Panics
+    /// Panics unless `1 ≤ k ≤ lw.len()`.
+    pub fn backward(lw: &[f64], k: usize) -> Self {
+        let n = lw.len();
+        assert!(k >= 1 && k <= n, "need 1 <= k <= n (k = {k}, n = {n})");
+        let cols = k + 1;
+        let mut table = vec![f64::NEG_INFINITY; (n + 1) * cols];
+        // e_0 = 1 for every suffix.
+        for i in 0..=n {
+            table[i * cols] = 0.0;
+        }
+        for i in (0..n).rev() {
+            for j in 1..=k.min(n - i) {
+                let keep = table[(i + 1) * cols + j];
+                let take = lw[i] + table[(i + 1) * cols + (j - 1)];
+                table[i * cols + j] = log_add(keep, take);
+            }
+        }
+        Self { n, k, table }
+    }
+
+    /// `ln e_j(w_i, …, w_{n−1})`.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i <= self.n && j <= self.k);
+        self.table[i * (self.k + 1) + j]
+    }
+
+    /// `ln e_k(w)` — the log normaliser of the subset distribution.
+    #[inline]
+    pub fn log_norm(&self) -> f64 {
+        self.at(0, self.k)
+    }
+
+    /// Draws a k-subset with probability `Π_{u∈S} w_u / e_k(w)` by the
+    /// exact sequential method: include item `i` with probability
+    /// `w_i · e_{j−1}(w_{i+1..}) / e_j(w_{i..})` where `j` items remain.
+    pub fn sample(&self, lw: &[f64], rng: &mut (impl Rng + ?Sized)) -> Vec<usize> {
+        assert_eq!(lw.len(), self.n, "weight vector changed size");
+        let mut out = Vec::with_capacity(self.k);
+        let mut j = self.k;
+        for i in 0..self.n {
+            if j == 0 {
+                break;
+            }
+            // Remaining items must suffice: forced inclusion when tight.
+            if self.n - i == j {
+                out.extend(i..self.n);
+                break;
+            }
+            let p_inc = (lw[i] + self.at(i + 1, j - 1) - self.at(i, j)).exp();
+            if rng.gen::<f64>() < p_inc {
+                out.push(i);
+                j -= 1;
+            }
+        }
+        debug_assert_eq!(out.len(), self.k);
+        out
+    }
+}
+
+/// Exact inclusion probabilities `π_u = P[u ∈ S] = w_u·e_{k−1}(w_{−u})/e_k(w)`
+/// for every item, via forward+backward tables in `O(nk)`.
+pub fn inclusion_probabilities(lw: &[f64], k: usize) -> Vec<f64> {
+    let n = lw.len();
+    assert!(k >= 1 && k <= n, "need 1 <= k <= n");
+    if k == n {
+        return vec![1.0; n];
+    }
+    let back = LogEsp::backward(lw, k);
+    // Forward table: fwd[i][j] = ln e_j(w_0, …, w_{i−1}).
+    let cols = k + 1;
+    let mut fwd = vec![f64::NEG_INFINITY; (n + 1) * cols];
+    for i in 0..=n {
+        fwd[i * cols] = 0.0;
+    }
+    for i in 1..=n {
+        for j in 1..=k.min(i) {
+            let keep = fwd[(i - 1) * cols + j];
+            let take = lw[i - 1] + fwd[(i - 1) * cols + (j - 1)];
+            fwd[i * cols + j] = log_add(keep, take);
+        }
+    }
+    let log_norm = back.log_norm();
+    (0..n)
+        .map(|u| {
+            // e_{k−1}(w_{−u}) = Σ_a e_a(w_{<u}) e_{k−1−a}(w_{>u}).
+            let mut acc = f64::NEG_INFINITY;
+            for a in 0..k {
+                acc = log_add(acc, fwd[u * cols + a] + back.at(u + 1, k - 1 - a));
+            }
+            (lw[u] + acc - log_norm).exp().min(1.0)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn log_add_basics() {
+        assert!((log_add(0.0, 0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert_eq!(log_add(f64::NEG_INFINITY, 3.0), 3.0);
+        assert!((log_add(-700.0, -700.0) - (-700.0 + std::f64::consts::LN_2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn esp_matches_direct_computation() {
+        // Weights (2, 3, 5): e_1 = 10, e_2 = 31, e_3 = 30.
+        let lw: Vec<f64> = [2.0f64, 3.0, 5.0].iter().map(|w| w.ln()).collect();
+        let t = LogEsp::backward(&lw, 3);
+        assert!((t.at(0, 1).exp() - 10.0).abs() < 1e-9);
+        assert!((t.at(0, 2).exp() - 31.0).abs() < 1e-9);
+        assert!((t.at(0, 3).exp() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_weights_give_binomials() {
+        let n = 30;
+        let lw = vec![0.0f64; n]; // all weights 1
+        let t = LogEsp::backward(&lw, 10);
+        // e_j = C(n, j).
+        let mut c = 1.0f64;
+        for j in 1..=10 {
+            c = c * (n as f64 - j as f64 + 1.0) / j as f64;
+            assert!(
+                (t.at(0, j).exp() - c).abs() / c < 1e-9,
+                "e_{j} = {} vs C = {c}",
+                t.at(0, j).exp()
+            );
+        }
+    }
+
+    #[test]
+    fn inclusion_probabilities_sum_to_k() {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(100);
+        for &(n, k) in &[(10usize, 3usize), (50, 12), (100, 40)] {
+            let lw: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..1.0)).collect();
+            let pi = inclusion_probabilities(&lw, k);
+            let total: f64 = pi.iter().sum();
+            assert!((total - k as f64).abs() < 1e-6, "n {n} k {k}: Σπ = {total}");
+            assert!(pi.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn heavier_items_are_included_more_often() {
+        let lw: Vec<f64> = [0.5f64, 1.0, 2.0, 4.0].iter().map(|w| w.ln()).collect();
+        let pi = inclusion_probabilities(&lw, 2);
+        for w in pi.windows(2) {
+            assert!(w[0] < w[1], "inclusion must grow with weight: {pi:?}");
+        }
+    }
+
+    #[test]
+    fn sampler_matches_inclusion_probabilities() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(101);
+        let weights = [1.0f64, 2.0, 0.5, 3.0, 1.5, 0.8];
+        let lw: Vec<f64> = weights.iter().map(|w| w.ln()).collect();
+        let k = 3;
+        let t = LogEsp::backward(&lw, k);
+        let pi = inclusion_probabilities(&lw, k);
+        let trials = 200_000;
+        let mut counts = vec![0.0; weights.len()];
+        for _ in 0..trials {
+            let s = t.sample(&lw, &mut rng);
+            assert_eq!(s.len(), k);
+            for u in s {
+                counts[u] += 1.0;
+            }
+        }
+        for u in 0..weights.len() {
+            let got = counts[u] / trials as f64;
+            assert!(
+                (got - pi[u]).abs() < 6e-3,
+                "item {u}: sampled {got} vs π {}",
+                pi[u]
+            );
+        }
+    }
+
+    #[test]
+    fn k_equals_n_includes_everything() {
+        let lw = vec![0.3f64.ln(); 5];
+        let t = LogEsp::backward(&lw, 5);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(102);
+        assert_eq!(t.sample(&lw, &mut rng), vec![0, 1, 2, 3, 4]);
+        assert_eq!(inclusion_probabilities(&lw, 5), vec![1.0; 5]);
+    }
+
+    #[test]
+    fn extreme_weight_ranges_stay_finite() {
+        // Weight ratios around e^±40: the log domain must not overflow.
+        let lw: Vec<f64> = (0..60).map(|i| (i as f64 - 30.0) * 1.3).collect();
+        let pi = inclusion_probabilities(&lw, 20);
+        assert!(pi.iter().all(|p| p.is_finite()));
+        let total: f64 = pi.iter().sum();
+        assert!((total - 20.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,126 @@
+//! Design-choice ablations (DESIGN.md §5): runtime cost of each kernel
+//! geometry, EM vs EMS, MDSW budget strategies, and the exact-vs-Sinkhorn
+//! accuracy/latency trade the paper navigates at d ≥ 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dam_baselines::{Mdsw, MdswBudget};
+use dam_bench::{bench_grid, bench_points};
+use dam_core::em2d::PostProcess;
+use dam_core::grid::KernelKind;
+use dam_core::kernel::DiscreteKernel;
+use dam_core::{DamConfig, DamEstimator, SamVariant, SpatialEstimator};
+use dam_geo::rng::derived;
+use std::hint::black_box;
+
+fn bench_kernel_geometries(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_geometry_build");
+    for kind in [KernelKind::Shrunken, KernelKind::NonShrunken, KernelKind::ExactIntersection] {
+        group.bench_with_input(
+            BenchmarkId::new("build", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| black_box(DiscreteKernel::dam(3.5, 15, 4, kind)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_shrinkage_pipeline(c: &mut Criterion) {
+    let points = bench_points(8_000, 20);
+    let grid = bench_grid(10);
+    let mut group = c.benchmark_group("shrinkage_pipeline");
+    group.sample_size(10);
+    for (name, variant) in [
+        ("dam", SamVariant::Dam),
+        ("dam_ns", SamVariant::DamNonShrunken),
+        ("dam_exact", SamVariant::DamExact),
+        ("huem", SamVariant::Huem),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = derived(21, 0);
+                let mech = DamEstimator::new(DamConfig { variant, ..DamConfig::dam(2.0) });
+                black_box(mech.estimate(&points, &grid, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_postprocess_flavors(c: &mut Criterion) {
+    let points = bench_points(8_000, 22);
+    let grid = bench_grid(10);
+    let mut group = c.benchmark_group("postprocess_flavor");
+    group.sample_size(10);
+    for (name, post) in [("em", PostProcess::Em), ("ems", PostProcess::Ems)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = derived(23, 0);
+                let mech = DamEstimator::new(DamConfig { post, ..DamConfig::dam(2.0) });
+                black_box(mech.estimate(&points, &grid, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_mdsw_budgets(c: &mut Criterion) {
+    let points = bench_points(8_000, 24);
+    let grid = bench_grid(10);
+    let mut group = c.benchmark_group("mdsw_budget");
+    group.sample_size(10);
+    for (name, budget) in [
+        ("split_half", MdswBudget::SplitHalf),
+        ("sample_one", MdswBudget::SampleOne),
+        ("joint_em", MdswBudget::JointEm),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = derived(25, 0);
+                black_box(Mdsw::new(2.0).with_budget(budget).estimate(&points, &grid, &mut rng))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_range_engines(c: &mut Criterion) {
+    use dam_range::{answer_from_histogram, random_queries, HierarchicalOracle};
+    let points = bench_points(8_000, 26);
+    let grid = bench_grid(16);
+    let mut rng = derived(27, 0);
+    let est = DamEstimator::new(DamConfig::dam(2.0)).estimate(&points, &grid, &mut rng);
+    let oracle = HierarchicalOracle::fit(&points, &grid, 2.0, &mut rng);
+    let queries = random_queries(16, 64, 0.4, &mut rng);
+    let mut group = c.benchmark_group("range_answering");
+    group.bench_function("dam_sum", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for q in &queries {
+                acc += answer_from_histogram(&est, q);
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("hio_cover", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for q in &queries {
+                acc += oracle.answer(q);
+            }
+            black_box(acc)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernel_geometries,
+    bench_shrinkage_pipeline,
+    bench_postprocess_flavors,
+    bench_mdsw_budgets,
+    bench_range_engines
+);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! §VI-B complexity benches: GridAreaResponse is O(1) per report after an
+//! O(b̂²) setup; EM post-processing is linear in channel size; the OT
+//! solvers scale as expected.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dam_bench::{bench_grid, bench_points};
+use dam_core::em2d::{post_process, PostProcess};
+use dam_core::grid::KernelKind;
+use dam_core::kernel::DiscreteKernel;
+use dam_core::response::GridAreaResponse;
+use dam_fo::em::EmParams;
+use dam_geo::rng::seeded;
+use dam_geo::{CellIndex, Histogram2D};
+use dam_transport::cost::CostMatrix;
+use dam_transport::exact::solve_exact;
+use dam_transport::sinkhorn::{sinkhorn_cost, SinkhornParams};
+use std::hint::black_box;
+
+fn bench_response(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grid_area_response");
+    for &b in &[1u32, 3, 5, 8] {
+        let kernel = DiscreteKernel::dam(3.5, 15, b, KernelKind::Shrunken);
+        let resp = GridAreaResponse::new(kernel);
+        let mut rng = seeded(1);
+        group.bench_with_input(BenchmarkId::new("report", b), &b, |bench, _| {
+            bench.iter(|| black_box(resp.respond(CellIndex::new(7, 7), &mut rng)));
+        });
+    }
+    for &b in &[1u32, 3, 5, 8] {
+        group.bench_with_input(BenchmarkId::new("setup", b), &b, |bench, &b| {
+            bench.iter(|| {
+                let kernel = DiscreteKernel::dam(3.5, 15, b, KernelKind::Shrunken);
+                black_box(GridAreaResponse::new(kernel))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_postprocess(c: &mut Criterion) {
+    let mut group = c.benchmark_group("em_postprocess");
+    group.sample_size(10);
+    for &d in &[5u32, 10, 15] {
+        let kernel = DiscreteKernel::dam(3.5, d, 2, KernelKind::Shrunken);
+        let grid = bench_grid(d);
+        let resp = GridAreaResponse::new(kernel.clone());
+        let mut rng = seeded(2);
+        let mut counts = vec![0.0f64; kernel.n_out()];
+        for p in bench_points(20_000, 3) {
+            let o = resp.respond(grid.cell_of(p), &mut rng);
+            counts[o.iy as usize * kernel.out_d() as usize + o.ix as usize] += 1.0;
+        }
+        group.bench_with_input(BenchmarkId::new("em", d), &d, |bench, _| {
+            bench.iter(|| {
+                black_box(post_process(
+                    &kernel,
+                    &counts,
+                    &grid,
+                    PostProcess::Em,
+                    EmParams { max_iters: 100, rel_tol: 1e-6 },
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_transport(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimal_transport");
+    group.sample_size(10);
+    let mut rng = seeded(4);
+    for &n in &[16usize, 64, 144] {
+        use rand::Rng;
+        let pts: Vec<dam_geo::Point> = (0..n)
+            .map(|i| dam_geo::Point::new((i % 12) as f64, (i / 12) as f64))
+            .collect();
+        let a: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() + 0.01).collect();
+        let b: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() + 0.01).collect();
+        let (sa, sb): (f64, f64) = (a.iter().sum(), b.iter().sum());
+        let a: Vec<f64> = a.iter().map(|x| x / sa).collect();
+        let b: Vec<f64> = b.iter().map(|x| x / sb).collect();
+        let cost = CostMatrix::euclidean_pow(&pts, &pts, 2);
+        group.bench_with_input(BenchmarkId::new("exact_lp", n), &n, |bench, _| {
+            bench.iter(|| black_box(solve_exact(&a, &b, &cost).unwrap().cost));
+        });
+        group.bench_with_input(BenchmarkId::new("sinkhorn", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(sinkhorn_cost(&a, &b, &cost, SinkhornParams::default()).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_histogram(c: &mut Criterion) {
+    let pts = bench_points(100_000, 5);
+    let grid = bench_grid(15);
+    c.bench_function("bucketize_100k_points", |bench| {
+        bench.iter(|| black_box(Histogram2D::from_points(grid.clone(), &pts)));
+    });
+}
+
+criterion_group!(benches, bench_response, bench_postprocess, bench_transport, bench_histogram);
+criterion_main!(benches);

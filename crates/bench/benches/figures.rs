@@ -1,0 +1,170 @@
+//! One bench per table/figure: the same code paths as the `dam-eval`
+//! binaries, scaled down (few users, single repeat) so `cargo bench`
+//! regenerates every experiment's machinery end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dam_baselines::{Mdsw, SemGeoI};
+use dam_bench::{bench_grid, bench_points};
+use dam_core::{DamConfig, DamEstimator, SpatialEstimator};
+use dam_geo::rng::derived;
+use dam_geo::{Grid2D, Histogram2D};
+use dam_trajectory::mechanism::{true_distribution, TrajectoryMechanism};
+use dam_trajectory::{sample_workload, DamOnPoints, LdpTrace, PivotTrace};
+use dam_transport::metrics::{w2, WassersteinMethod};
+use dam_transport::SinkhornParams;
+use std::hint::black_box;
+
+const USERS: usize = 8_000;
+
+fn one_point(
+    mech: &dyn SpatialEstimator,
+    points: &[dam_geo::Point],
+    grid: &Grid2D,
+    stream: u64,
+    exact: bool,
+) -> f64 {
+    let mut rng = derived(11, stream);
+    let truth = Histogram2D::from_points(grid.clone(), points).normalized();
+    let est = mech.estimate(points, grid, &mut rng);
+    let method = if exact {
+        WassersteinMethod::Exact
+    } else {
+        WassersteinMethod::Sinkhorn(SinkhornParams { reg_rel: 2e-3, max_iters: 200, tol: 1e-7 })
+    };
+    w2(&est, &truth, method).unwrap()
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let points = bench_points(USERS, 8);
+    let grid = bench_grid(15);
+    c.bench_function("fig8_dam_b_sweep_point", |b| {
+        b.iter(|| {
+            let mech = DamEstimator::new(DamConfig { b_hat: Some(3), ..DamConfig::dam(3.5) });
+            black_box(one_point(&mech, &points, &grid, 0, false))
+        });
+    });
+}
+
+fn bench_fig9_small_d(c: &mut Criterion) {
+    let points = bench_points(USERS, 9);
+    let grid = bench_grid(5);
+    let mut group = c.benchmark_group("fig9_small_d_point");
+    group.sample_size(10);
+    group.bench_function("dam", |b| {
+        b.iter(|| {
+            black_box(one_point(
+                &DamEstimator::new(DamConfig::dam(3.5)),
+                &points,
+                &grid,
+                1,
+                true,
+            ))
+        });
+    });
+    group.bench_function("mdsw", |b| {
+        b.iter(|| black_box(one_point(&Mdsw::new(3.5), &points, &grid, 2, true)));
+    });
+    group.bench_function("sem_geo_i", |b| {
+        b.iter(|| black_box(one_point(&SemGeoI::new(2.0), &points, &grid, 3, true)));
+    });
+    group.finish();
+}
+
+fn bench_fig9_large_d(c: &mut Criterion) {
+    let points = bench_points(USERS, 10);
+    let grid = bench_grid(15);
+    let mut group = c.benchmark_group("fig9_large_d_point");
+    group.sample_size(10);
+    group.bench_function("dam_sinkhorn", |b| {
+        b.iter(|| {
+            black_box(one_point(
+                &DamEstimator::new(DamConfig::dam(5.0)),
+                &points,
+                &grid,
+                4,
+                false,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig9_eps_sweeps(c: &mut Criterion) {
+    let points = bench_points(USERS, 11);
+    let grid = bench_grid(5);
+    let mut group = c.benchmark_group("fig9_eps_point");
+    group.sample_size(10);
+    for eps in [0.7, 3.5, 9.0] {
+        group.bench_function(format!("dam_eps_{eps}"), |b| {
+            b.iter(|| {
+                black_box(one_point(
+                    &DamEstimator::new(DamConfig::dam(eps)),
+                    &points,
+                    &grid,
+                    5,
+                    true,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    // Full-domain variant: same pipeline, city-like cloud.
+    let ds = dam_data::load(dam_data::DatasetKind::CrimeFull, 1);
+    let part = &ds.parts[0];
+    let points = &part.points[..USERS.min(part.points.len())];
+    let grid = Grid2D::new(part.bbox, 10);
+    let mut group = c.benchmark_group("fig13_point");
+    group.sample_size(10);
+    group.bench_function("dam_crime_full", |b| {
+        b.iter(|| {
+            black_box(one_point(
+                &DamEstimator::new(DamConfig::dam(3.5)),
+                points,
+                &grid,
+                6,
+                false,
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let base = bench_points(20_000, 12);
+    let base_grid = bench_grid(60);
+    let mut rng = derived(13, 0);
+    let trajs = sample_workload(&base, &base_grid, 100, (2, 50), &mut rng);
+    let grid = bench_grid(10);
+    let truth = true_distribution(&trajs, &grid);
+    let mut group = c.benchmark_group("fig14_point");
+    group.sample_size(10);
+    let mechs: Vec<(&str, Box<dyn TrajectoryMechanism>)> = vec![
+        ("ldptrace", Box::new(LdpTrace::new(1.5))),
+        ("pivottrace", Box::new(PivotTrace::new(1.5))),
+        ("dam", Box::new(DamOnPoints::new(1.5))),
+    ];
+    for (name, mech) in &mechs {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut r = derived(14, 1);
+                let est = mech.estimate_distribution(&trajs, &grid, &mut r);
+                black_box(w2(&est, &truth, WassersteinMethod::Exact).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig8,
+    bench_fig9_small_d,
+    bench_fig9_large_d,
+    bench_fig9_eps_sweeps,
+    bench_fig13,
+    bench_fig14
+);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! # dam-bench — benchmark support
+//!
+//! The benchmarks live in `benches/`:
+//!
+//! * `complexity` — the §VI-B complexity claims: O(1) reports after O(b̂²)
+//!   setup, EM post-processing cost, OT solver scaling;
+//! * `figures` — scaled-down end-to-end regenerators, one per
+//!   table/figure (`fig8`, `fig9_*`, `fig13`, `fig14`): same code paths as
+//!   the `dam-eval` binaries with reduced user counts, so `cargo bench`
+//!   exercises every experiment;
+//! * `ablations` — the design-choice ablations of DESIGN.md §5 (shrunken
+//!   vs non-shrunken vs exact kernels, EM vs EMS, MDSW budget split,
+//!   exact LP vs Sinkhorn).
+//!
+//! This library exposes the small fixtures the benches share.
+
+use dam_geo::rng::derived;
+use dam_geo::{BoundingBox, Grid2D, Point};
+use rand::Rng;
+
+/// A deterministic clustered point cloud for benchmarking pipelines.
+pub fn bench_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = derived(seed, 0xBE7C);
+    (0..n)
+        .map(|_| {
+            let cx = if rng.gen::<bool>() { 0.25 } else { 0.7 };
+            Point::new(
+                (cx + 0.1 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+                (cx + 0.1 * (rng.gen::<f64>() - 0.5)).clamp(0.0, 1.0),
+            )
+        })
+        .collect()
+}
+
+/// The unit grid used across benches.
+pub fn bench_grid(d: u32) -> Grid2D {
+    Grid2D::new(BoundingBox::unit(), d)
+}

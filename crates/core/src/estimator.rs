@@ -1,0 +1,309 @@
+//! The end-to-end PSDEP pipeline (Algorithm 1) and the unified estimator
+//! trait implemented by every mechanism in the workspace.
+//!
+//! The Frequency Oracle protocol `FO = ⟨T, E⟩` splits naturally into a
+//! user-side [`DamClient`] (bucketize + `GridAreaResponse`) and an
+//! analyst-side [`DamAggregator`] (noisy histogram + EM PostProcess).
+//! [`DamEstimator`] wires both together behind [`SpatialEstimator`], the
+//! interface the experiment harness drives for DAM, DAM-NS, HUEM and all
+//! the baselines in `dam-baselines`.
+
+use crate::em2d::{post_process, PostProcess};
+use crate::grid::KernelKind;
+use crate::kernel::DiscreteKernel;
+use crate::radius::optimal_b_cells;
+use crate::response::GridAreaResponse;
+use dam_fo::em::EmParams;
+use dam_geo::{CellIndex, Grid2D, Histogram2D, Point};
+use rand::RngCore;
+
+/// A mechanism that privately estimates the spatial distribution of a
+/// point multiset over a grid — the `FO` of Definition 3.
+pub trait SpatialEstimator {
+    /// Human-readable mechanism name (as used in the paper's figures).
+    fn name(&self) -> String;
+
+    /// Runs the full local-DP protocol: every point is randomized
+    /// client-side and the analyst's estimate over `grid` is returned as a
+    /// normalized histogram.
+    fn estimate(&self, points: &[Point], grid: &Grid2D, rng: &mut dyn RngCore) -> Histogram2D;
+}
+
+/// Mechanism variants sharing the SAM pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SamVariant {
+    /// The paper's Disk Area Mechanism with border shrinkage.
+    Dam,
+    /// DAM without shrinkage (the DAM-NS baseline).
+    DamNonShrunken,
+    /// DAM with exact circle–cell intersection areas (extension/ablation).
+    DamExact,
+    /// The Hybrid Uniform-Exponential Mechanism.
+    Huem,
+}
+
+impl SamVariant {
+    fn kernel(self, eps: f64, d: u32, b_hat: u32) -> DiscreteKernel {
+        match self {
+            SamVariant::Dam => DiscreteKernel::dam(eps, d, b_hat, KernelKind::Shrunken),
+            SamVariant::DamNonShrunken => {
+                DiscreteKernel::dam(eps, d, b_hat, KernelKind::NonShrunken)
+            }
+            SamVariant::DamExact => {
+                DiscreteKernel::dam(eps, d, b_hat, KernelKind::ExactIntersection)
+            }
+            SamVariant::Huem => DiscreteKernel::huem(eps, d, b_hat),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            SamVariant::Dam => "DAM",
+            SamVariant::DamNonShrunken => "DAM-NS",
+            SamVariant::DamExact => "DAM-X",
+            SamVariant::Huem => "HUEM",
+        }
+    }
+}
+
+/// Configuration of the SAM pipeline (Algorithm 1).
+#[derive(Debug, Clone, Copy)]
+pub struct DamConfig {
+    /// Privacy budget ε.
+    pub eps: f64,
+    /// Mechanism variant.
+    pub variant: SamVariant,
+    /// Explicit disk radius in cells; `None` uses the optimal `b̌` of §V-C.
+    pub b_hat: Option<u32>,
+    /// Post-processing flavour (the paper uses plain EM).
+    pub post: PostProcess,
+    /// EM convergence knobs.
+    pub em: EmParams,
+}
+
+impl DamConfig {
+    /// The paper's default DAM configuration at budget `eps`.
+    pub fn dam(eps: f64) -> Self {
+        Self {
+            eps,
+            variant: SamVariant::Dam,
+            b_hat: None,
+            post: PostProcess::Em,
+            em: EmParams::default(),
+        }
+    }
+
+    /// DAM-NS (no shrinkage) at budget `eps`.
+    pub fn dam_ns(eps: f64) -> Self {
+        Self { variant: SamVariant::DamNonShrunken, ..Self::dam(eps) }
+    }
+
+    /// HUEM at budget `eps`.
+    pub fn huem(eps: f64) -> Self {
+        Self { variant: SamVariant::Huem, ..Self::dam(eps) }
+    }
+
+    /// Resolves the disk radius for a grid with `d` cells per side.
+    pub fn resolve_b(&self, d: u32) -> u32 {
+        self.b_hat.unwrap_or_else(|| optimal_b_cells(self.eps, d))
+    }
+}
+
+/// User-side state: bucketizes a point and emits a noisy output cell
+/// (lines 5–6 of Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct DamClient {
+    grid: Grid2D,
+    response: GridAreaResponse,
+}
+
+impl DamClient {
+    /// Builds the client for a grid and kernel configuration.
+    pub fn new(grid: Grid2D, config: &DamConfig) -> Self {
+        let b_hat = config.resolve_b(grid.d());
+        let kernel = config.variant.kernel(config.eps, grid.d(), b_hat);
+        Self { grid, response: GridAreaResponse::new(kernel) }
+    }
+
+    /// The input grid.
+    #[inline]
+    pub fn grid(&self) -> &Grid2D {
+        &self.grid
+    }
+
+    /// The kernel in use.
+    #[inline]
+    pub fn kernel(&self) -> &DiscreteKernel {
+        self.response.kernel()
+    }
+
+    /// Randomizes one point into an output-grid cell index.
+    pub fn report(&self, point: Point, rng: &mut (impl rand::Rng + ?Sized)) -> CellIndex {
+        self.response.respond(self.grid.cell_of(point), rng)
+    }
+}
+
+/// Analyst-side state: accumulates noisy cells and runs PostProcess
+/// (lines 7–8 of Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct DamAggregator {
+    kernel: DiscreteKernel,
+    input_grid: Grid2D,
+    counts: Vec<f64>,
+    n_reports: u64,
+}
+
+impl DamAggregator {
+    /// Builds an empty aggregator matching a client's kernel and grid.
+    pub fn new(client: &DamClient) -> Self {
+        let kernel = client.kernel().clone();
+        let counts = vec![0.0; kernel.n_out()];
+        Self { kernel, input_grid: client.grid().clone(), counts, n_reports: 0 }
+    }
+
+    /// Ingests one noisy report.
+    pub fn ingest(&mut self, noisy: CellIndex) {
+        let od = self.kernel.out_d();
+        assert!(noisy.ix < od && noisy.iy < od, "report outside the output grid");
+        self.counts[noisy.iy as usize * od as usize + noisy.ix as usize] += 1.0;
+        self.n_reports += 1;
+    }
+
+    /// Number of reports ingested so far.
+    #[inline]
+    pub fn n_reports(&self) -> u64 {
+        self.n_reports
+    }
+
+    /// Runs PostProcess and returns the estimated distribution.
+    pub fn estimate(&self, post: PostProcess, em: EmParams) -> Histogram2D {
+        post_process(&self.kernel, &self.counts, &self.input_grid, post, em)
+    }
+}
+
+/// The packaged estimator implementing [`SpatialEstimator`] for every SAM
+/// variant.
+#[derive(Debug, Clone, Copy)]
+pub struct DamEstimator {
+    config: DamConfig,
+}
+
+impl DamEstimator {
+    /// Wraps a configuration.
+    pub fn new(config: DamConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    #[inline]
+    pub fn config(&self) -> &DamConfig {
+        &self.config
+    }
+}
+
+impl SpatialEstimator for DamEstimator {
+    fn name(&self) -> String {
+        self.config.variant.label().to_string()
+    }
+
+    fn estimate(&self, points: &[Point], grid: &Grid2D, rng: &mut dyn RngCore) -> Histogram2D {
+        assert!(!points.is_empty(), "cannot estimate from zero points");
+        let client = DamClient::new(grid.clone(), &self.config);
+        let mut agg = DamAggregator::new(&client);
+        for &p in points {
+            let noisy = client.report(p, rng);
+            agg.ingest(noisy);
+        }
+        agg.estimate(self.config.post, self.config.em)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_geo::BoundingBox;
+    use rand::SeedableRng;
+
+    fn cluster_points(center: Point, n: usize, spread: f64, seed: u64) -> Vec<Point> {
+        use rand::Rng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                Point::new(
+                    (center.x + rng.gen_range(-spread..spread)).clamp(0.0, 1.0),
+                    (center.y + rng.gen_range(-spread..spread)).clamp(0.0, 1.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_recovers_cluster_location() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(90);
+        let grid = Grid2D::new(BoundingBox::unit(), 5);
+        let points = cluster_points(Point::new(0.15, 0.85), 20_000, 0.05, 7);
+        let est = DamEstimator::new(DamConfig::dam(4.0)).estimate(&points, &grid, &mut rng);
+        // The true cluster lives in cell (0, 4); the estimate must put the
+        // plurality of mass there.
+        let peak = est.get(CellIndex::new(0, 4));
+        assert!(peak > 0.4, "peak mass {peak}");
+        assert!((est.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_variants_produce_valid_distributions() {
+        let grid = Grid2D::new(BoundingBox::unit(), 4);
+        let points = cluster_points(Point::new(0.5, 0.5), 3_000, 0.3, 8);
+        for (i, cfg) in [
+            DamConfig::dam(2.0),
+            DamConfig::dam_ns(2.0),
+            DamConfig::huem(2.0),
+            DamConfig { variant: SamVariant::DamExact, ..DamConfig::dam(2.0) },
+        ]
+        .iter()
+        .enumerate()
+        {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(91 + i as u64);
+            let est = DamEstimator::new(*cfg).estimate(&points, &grid, &mut rng);
+            assert!((est.total() - 1.0).abs() < 1e-9, "{:?}", cfg.variant);
+            assert!(est.values().iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn names_match_paper_labels() {
+        assert_eq!(DamEstimator::new(DamConfig::dam(1.0)).name(), "DAM");
+        assert_eq!(DamEstimator::new(DamConfig::dam_ns(1.0)).name(), "DAM-NS");
+        assert_eq!(DamEstimator::new(DamConfig::huem(1.0)).name(), "HUEM");
+    }
+
+    #[test]
+    fn client_reports_and_aggregator_counts() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(92);
+        let grid = Grid2D::new(BoundingBox::unit(), 3);
+        let cfg = DamConfig::dam(1.0);
+        let client = DamClient::new(grid, &cfg);
+        let mut agg = DamAggregator::new(&client);
+        for k in 0..500 {
+            let p = Point::new((k % 10) as f64 / 10.0, (k % 7) as f64 / 7.0);
+            agg.ingest(client.report(p, &mut rng));
+        }
+        assert_eq!(agg.n_reports(), 500);
+        let est = agg.estimate(PostProcess::Em, EmParams::default());
+        assert!((est.total() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn explicit_b_override_is_used() {
+        let grid = Grid2D::new(BoundingBox::unit(), 10);
+        let cfg = DamConfig { b_hat: Some(4), ..DamConfig::dam(3.5) };
+        let client = DamClient::new(grid, &cfg);
+        assert_eq!(client.kernel().b_hat(), 4);
+    }
+
+    #[test]
+    fn default_b_matches_radius_module() {
+        let cfg = DamConfig::dam(3.5);
+        assert_eq!(cfg.resolve_b(15), crate::radius::optimal_b_cells(3.5, 15));
+    }
+}

@@ -1,0 +1,42 @@
+//! # dam-core — the Disk Area Mechanism and friends
+//!
+//! This crate implements the primary contribution of "Numerical Estimation
+//! of Spatial Distributions under Differential Privacy" (ICDE 2025):
+//!
+//! * [`sam`] — the continuous *Spatial Area Mechanism* family (§IV):
+//!   wave-function mechanisms over the dilated square output domain,
+//!   including the continuous [`sam::ContinuousDam`] (Definition 8) and
+//!   [`sam::ContinuousHuem`] (Definition 5);
+//! * [`radius`] — the optimal high-probability radius `b*` from the
+//!   mutual-information bound of §V-C;
+//! * [`grid`] — discrete disk geometry over the cell grid: classification
+//!   of cells into pure-high / mixed / pure-low, the border *shrinkage* of
+//!   Theorem VI.1 and the closed-form area counts of Theorems VI.2–VI.4;
+//! * [`kernel`] — the discrete reporting kernels (`p̂`/`q̂` masses per
+//!   output cell) for DAM, DAM-NS (no shrinkage), the exact-intersection
+//!   ablation kernel, and the ring-discretised HUEM of Appendix A;
+//! * [`response`] — `GridAreaResponse` (Algorithm 2): O(1) per-user
+//!   sampling of a noisy output cell;
+//! * [`em2d`] — the EM/EMS "PostProcess" step on the 2-D grid;
+//! * [`estimator`] — the end-to-end pipeline (Algorithm 1) packaged as the
+//!   [`estimator::SpatialEstimator`] trait implemented by every mechanism
+//!   in the workspace, plus the client/aggregator split
+//!   ([`estimator::DamClient`] / [`estimator::DamAggregator`]) mirroring
+//!   the FO = ⟨T, E⟩ protocol.
+
+pub mod em2d;
+pub mod estimator;
+pub mod grid;
+pub mod kernel;
+pub mod radius;
+pub mod response;
+pub mod sam;
+
+pub use em2d::PostProcess;
+pub use estimator::{
+    DamAggregator, DamClient, DamConfig, DamEstimator, SamVariant, SpatialEstimator,
+};
+pub use grid::{CellClass, DiskGeometry, KernelKind};
+pub use kernel::DiscreteKernel;
+pub use radius::{mutual_information_bound, optimal_b};
+pub use response::GridAreaResponse;

@@ -1,0 +1,129 @@
+//! Choosing the high-probability radius `b` (§V-C of the paper).
+//!
+//! The radius is chosen, independently of the unknown data distribution, by
+//! maximising an upper bound on the mutual information between the
+//! mechanism's input and output. For a square input domain of side `L` the
+//! optimum has the closed form
+//!
+//! ```text
+//! b* = (2m₂ + √(4m₂² + π e^ε m₁ m₂)) / (π e^ε m₁) · L,
+//!     m₁ = e^ε − 1 − ε,   m₂ = 1 − e^ε + ε e^ε
+//! ```
+//!
+//! with the limits `b* → (2 + √(4 + π))/π · L` as `ε → 0` and `b* → 0` as
+//! `ε → ∞` (both verified in tests, alongside a property test that the
+//! closed form maximises the bound numerically).
+
+/// The optimal radius `b*(ε, L)` for a square input domain of side `L`.
+///
+/// # Panics
+/// Panics unless `eps > 0` and `l > 0`.
+pub fn optimal_b(eps: f64, l: f64) -> f64 {
+    assert!(eps > 0.0 && eps.is_finite(), "privacy budget must be positive");
+    assert!(l > 0.0 && l.is_finite(), "side length must be positive");
+    let e = eps.exp();
+    let m1 = e - 1.0 - eps;
+    let m2 = 1.0 - e + eps * e;
+    let pi = std::f64::consts::PI;
+    (2.0 * m2 + (4.0 * m2 * m2 + pi * e * m1 * m2).sqrt()) / (pi * e * m1) * l
+}
+
+/// The discrete optimal radius `b̌ = ⌊b* · d / L⌋` in cell units for a grid
+/// with `d` cells per side.
+///
+/// The floor can legitimately be **zero** (large ε and/or small d): the
+/// optimal disk is smaller than one cell, and the discrete mechanism
+/// degenerates into randomized response over cells — the correct limit
+/// behaviour (`b → 0` as `ε → ∞`, §V-C), handled by
+/// [`crate::kernel::DiscreteKernel`]'s degenerate kernel.
+pub fn optimal_b_cells(eps: f64, d: u32) -> u32 {
+    let b = optimal_b(eps, 1.0);
+    (b * d as f64).floor() as u32
+}
+
+/// The mutual-information upper bound `g(b)` being maximised (Equation 11;
+/// Equation 9 is the `L = 1` case). Expressed in nats (the paper's `log` is
+/// a constant factor that does not move the argmax).
+pub fn mutual_information_bound(b: f64, eps: f64, l: f64) -> f64 {
+    assert!(b > 0.0, "radius must be positive");
+    let e = eps.exp();
+    let pi = std::f64::consts::PI;
+    let area_out = pi * b * b + 4.0 * l * b + l * l;
+    let denom = pi * b * b * e + 4.0 * l * b + l * l;
+    // g(b) = ln(area_out / denom) + π b² e^ε ε / denom
+    (area_out / denom).ln() + pi * b * b * e * eps / denom
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn matches_paper_example_at_default_params() {
+        // §VII-C1: at d = 15, ε = 3.5 the optimal discrete radius is ≈ 3.
+        assert_eq!(optimal_b_cells(3.5, 15), 3);
+    }
+
+    #[test]
+    fn small_eps_limit() {
+        let expect = (2.0 + (4.0f64 + PI).sqrt()) / PI;
+        let b = optimal_b(1e-6, 1.0);
+        assert!((b - expect).abs() < 1e-3, "b {b} vs limit {expect}");
+    }
+
+    #[test]
+    fn large_eps_limit() {
+        assert!(optimal_b(30.0, 1.0) < 1e-4);
+    }
+
+    #[test]
+    fn scales_linearly_with_side_length() {
+        let b1 = optimal_b(2.0, 1.0);
+        let b7 = optimal_b(2.0, 7.0);
+        assert!((b7 - 7.0 * b1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_decreasing_in_eps() {
+        let mut prev = f64::INFINITY;
+        for k in 1..=40 {
+            let b = optimal_b(0.25 * k as f64, 1.0);
+            assert!(b < prev, "b must shrink as eps grows");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn closed_form_maximises_bound() {
+        for &eps in &[0.7, 1.4, 3.5, 5.0, 9.0] {
+            for &l in &[1.0, 3.0] {
+                let b_star = optimal_b(eps, l);
+                let g_star = mutual_information_bound(b_star, eps, l);
+                // Grid search around the optimum.
+                for k in 1..200 {
+                    let b = b_star * (0.05 + k as f64 * 0.02);
+                    if b <= 0.0 {
+                        continue;
+                    }
+                    let g = mutual_information_bound(b, eps, l);
+                    assert!(
+                        g <= g_star + 1e-9,
+                        "eps {eps} l {l}: g({b}) = {g} exceeds g(b*) = {g_star}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn discrete_radius_degenerates_to_zero_at_large_eps() {
+        // ε = 9 on a single-cell-per-side grid: b*·d ≈ 0.02 → b̂ = 0
+        // (randomized-response regime).
+        assert_eq!(optimal_b_cells(9.0, 1), 0);
+        // Small budgets keep a genuine disk.
+        assert!(optimal_b_cells(0.7, 20) >= 1);
+        // The paper's default configuration still yields b̂ = 3.
+        assert_eq!(optimal_b_cells(3.5, 15), 3);
+    }
+}

@@ -1,0 +1,215 @@
+//! `GridAreaResponse` (Algorithm 2): per-user randomized reporting.
+//!
+//! Algorithm 2 samples among four area buckets (pure low, mixed-low,
+//! mixed-high, pure high) with weights `⟨1, 1, e^ε, e^ε⟩` and then a cell
+//! within the bucket. Because every output cell's total mass is
+//! `S_p·p̂ + (1 − S_p)·q̂`, that two-stage scheme is equivalent to one
+//! categorical draw over output cells — which is what this implementation
+//! does, using a Walker alias table over the `(2b̂+1)²` offset box plus a
+//! single "far field" outcome resolved by uniform sampling over the
+//! rectangle-decomposed complement of the box. Setup is `O(b̂²)` and each
+//! report is `O(1)`, matching the paper's `O(g)` response complexity.
+
+use crate::kernel::DiscreteKernel;
+use dam_fo::alias::AliasTable;
+use dam_geo::CellIndex;
+use rand::Rng;
+
+/// The randomized reporting function `FO.T` for any discrete SAM kernel.
+#[derive(Debug, Clone)]
+pub struct GridAreaResponse {
+    kernel: DiscreteKernel,
+    /// Alias table over box offsets (`box_side²` outcomes) plus one final
+    /// "far field" outcome.
+    alias: AliasTable,
+}
+
+impl GridAreaResponse {
+    /// Builds the responder for a kernel.
+    pub fn new(kernel: DiscreteKernel) -> Self {
+        let box_cells = kernel.box_side() * kernel.box_side();
+        let far_cells = kernel.n_out() - box_cells;
+        let mut weights = Vec::with_capacity(box_cells + 1);
+        weights.extend_from_slice(kernel.offset_masses());
+        weights.push(far_cells as f64 * kernel.q_hat());
+        let alias = AliasTable::new(&weights);
+        Self { kernel, alias }
+    }
+
+    /// The kernel this responder reports through.
+    #[inline]
+    pub fn kernel(&self) -> &DiscreteKernel {
+        &self.kernel
+    }
+
+    /// Randomizes one input cell into an output-grid cell.
+    pub fn respond(&self, input: CellIndex, rng: &mut (impl Rng + ?Sized)) -> CellIndex {
+        let d = self.kernel.d();
+        assert!(input.ix < d && input.iy < d, "input cell out of grid");
+        let b = self.kernel.b_hat();
+        let side = self.kernel.box_side();
+        let box_cells = side * side;
+        let pick = self.alias.sample(rng);
+        if pick < box_cells {
+            let dx = (pick % side) as i64 - b as i64;
+            let dy = (pick / side) as i64 - b as i64;
+            CellIndex::new(
+                (input.ix as i64 + b as i64 + dx) as u32,
+                (input.iy as i64 + b as i64 + dy) as u32,
+            )
+        } else {
+            self.sample_far(input, rng)
+        }
+    }
+
+    /// Uniform draw over the output grid minus the offset box around
+    /// `input`, via decomposition of the complement into at most four
+    /// rectangles (bottom strip, top strip, left strip, right strip).
+    fn sample_far(&self, input: CellIndex, rng: &mut (impl Rng + ?Sized)) -> CellIndex {
+        let out_d = self.kernel.out_d() as u64;
+        // The box in output coordinates: [bx0, bx1] × [by0, by1].
+        let bx0 = input.ix as u64;
+        let bx1 = input.ix as u64 + 2 * self.kernel.b_hat() as u64;
+        let by0 = input.iy as u64;
+        let by1 = input.iy as u64 + 2 * self.kernel.b_hat() as u64;
+        debug_assert!(bx1 < out_d && by1 < out_d);
+
+        // (x0, x1, y0, y1) inclusive rectangles.
+        let mut rects: [(u64, u64, u64, u64); 4] = [(0, 0, 0, 0); 4];
+        let mut areas = [0u64; 4];
+        let mut n = 0;
+        if by0 > 0 {
+            rects[n] = (0, out_d - 1, 0, by0 - 1);
+            n += 1;
+        }
+        if by1 + 1 < out_d {
+            rects[n] = (0, out_d - 1, by1 + 1, out_d - 1);
+            n += 1;
+        }
+        if bx0 > 0 {
+            rects[n] = (0, bx0 - 1, by0, by1);
+            n += 1;
+        }
+        if bx1 + 1 < out_d {
+            rects[n] = (bx1 + 1, out_d - 1, by0, by1);
+            n += 1;
+        }
+        assert!(n > 0, "far-field sampling requires d >= 2 or was mis-weighted");
+        let mut total = 0u64;
+        for k in 0..n {
+            let (x0, x1, y0, y1) = rects[k];
+            areas[k] = (x1 - x0 + 1) * (y1 - y0 + 1);
+            total += areas[k];
+        }
+        let mut t = rng.gen_range(0..total);
+        for k in 0..n {
+            if t < areas[k] {
+                let (x0, x1, y0, _) = rects[k];
+                let w = x1 - x0 + 1;
+                return CellIndex::new((x0 + t % w) as u32, (y0 + t / w) as u32);
+            }
+            t -= areas[k];
+        }
+        unreachable!("rectangle areas summed to total");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::KernelKind;
+    use rand::SeedableRng;
+
+    fn responder(eps: f64, d: u32, b: u32) -> GridAreaResponse {
+        GridAreaResponse::new(DiscreteKernel::dam(eps, d, b, KernelKind::Shrunken))
+    }
+
+    #[test]
+    fn reports_stay_in_output_grid() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(70);
+        let r = responder(1.0, 5, 2);
+        let out_d = r.kernel().out_d();
+        for ix in 0..5 {
+            for iy in 0..5 {
+                for _ in 0..200 {
+                    let o = r.respond(CellIndex::new(ix, iy), &mut rng);
+                    assert!(o.ix < out_d && o.iy < out_d);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empirical_distribution_matches_kernel() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(71);
+        let r = responder(2.0, 4, 2);
+        let out_d = r.kernel().out_d() as usize;
+        let input = CellIndex::new(1, 3);
+        let n = 400_000;
+        let mut counts = vec![0.0f64; out_d * out_d];
+        for _ in 0..n {
+            let o = r.respond(input, &mut rng);
+            counts[o.iy as usize * out_d + o.ix as usize] += 1.0;
+        }
+        for oy in 0..out_d {
+            for ox in 0..out_d {
+                let expect = r
+                    .kernel()
+                    .mass(input, CellIndex::new(ox as u32, oy as u32));
+                let got = counts[oy * out_d + ox] / n as f64;
+                assert!(
+                    (got - expect).abs() < 6e-3,
+                    "out ({ox},{oy}): sampled {got} vs kernel {expect}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn far_field_is_uniform() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(72);
+        // Small eps → most mass in the far field.
+        let r = responder(0.2, 8, 1);
+        let input = CellIndex::new(0, 0);
+        let n = 300_000;
+        let out_d = r.kernel().out_d() as usize;
+        let mut counts = vec![0.0f64; out_d * out_d];
+        for _ in 0..n {
+            let o = r.respond(input, &mut rng);
+            counts[o.iy as usize * out_d + o.ix as usize] += 1.0;
+        }
+        // Two far cells must have near-identical frequencies.
+        let far_a = counts[(out_d - 1) * out_d + (out_d - 1)] / n as f64;
+        let far_b = counts[(out_d - 1) * out_d / 2 + (out_d - 1)] / n as f64;
+        assert!((far_a - far_b).abs() < 3e-3, "far cells {far_a} vs {far_b}");
+    }
+
+    #[test]
+    fn d_equals_one_has_no_far_field() {
+        // With d = 1 the offset box covers the whole output grid; the far
+        // bucket has zero weight and must never fire.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(73);
+        let r = responder(1.0, 1, 3);
+        for _ in 0..5000 {
+            let o = r.respond(CellIndex::new(0, 0), &mut rng);
+            assert!(o.ix < 7 && o.iy < 7);
+        }
+    }
+
+    #[test]
+    fn works_for_huem_kernels() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(74);
+        let r = GridAreaResponse::new(DiscreteKernel::huem(2.0, 6, 3));
+        let input = CellIndex::new(2, 2);
+        let n = 200_000;
+        let mut at_center = 0.0;
+        for _ in 0..n {
+            let o = r.respond(input, &mut rng);
+            if o.ix == 5 && o.iy == 5 {
+                at_center += 1.0;
+            }
+        }
+        let expect = r.kernel().mass_at_offset(0, 0);
+        assert!((at_center / n as f64 - expect).abs() < 4e-3);
+    }
+}

@@ -1,0 +1,47 @@
+//! Diagnostic: the Local-Privacy calibration chain for SEM-Geo-I.
+//!
+//! Prints, for a sweep of (ε, d): DAM's disk radius and exact LP, the
+//! calibrated ε′, the implied subset size k, and the Monte-Carlo LP that
+//! SEM achieves at ε′ — the full §VII-B unification pipeline in one
+//! table. Useful when a SEM data point looks off in a figure.
+
+use dam_baselines::SemGeoI;
+use dam_core::grid::KernelKind;
+use dam_core::kernel::DiscreteKernel;
+use dam_core::radius::optimal_b_cells;
+use dam_eval::mechspec::sem_epsilon;
+use dam_eval::{CliArgs, EvalContext, Report};
+use dam_geo::rng::derived;
+use dam_privacy::lp::{lp_dam, lp_sem_monte_carlo};
+
+fn main() {
+    let args = CliArgs::parse();
+    let ctx = EvalContext::from_args(&args);
+    let mut report = Report::new(
+        "SEM-Geo-I calibration probe",
+        &["eps", "d", "b̂", "LP(DAM)", "eps'", "k", "LP(SEM@eps')"],
+    );
+    for &eps in &[0.7, 2.1, 3.5, 5.0] {
+        for &d in &[2u32, 3, 4, 5, 10, 15] {
+            let b = optimal_b_cells(eps, d);
+            let kernel = DiscreteKernel::dam(eps, d, b, KernelKind::Shrunken);
+            let target = lp_dam(&kernel);
+            let eps_sem = sem_epsilon(eps, d, &ctx);
+            let k = SemGeoI::new(eps_sem).resolve_k((d * d) as usize);
+            let mut rng = derived(ctx.seed, 0xBEEF + d as u64);
+            let achieved = lp_sem_monte_carlo(eps_sem, d, 2000, &mut rng);
+            report.push_row(vec![
+                format!("{eps}"),
+                d.to_string(),
+                b.to_string(),
+                format!("{target:.4}"),
+                format!("{eps_sem:.4}"),
+                k.to_string(),
+                format!("{achieved:.4}"),
+            ]);
+        }
+    }
+    println!("{}", report.render());
+    let path = report.write_csv(&args.out, "calib_probe").expect("write csv");
+    println!("csv: {}", path.display());
+}

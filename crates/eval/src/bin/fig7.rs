@@ -1,0 +1,65 @@
+//! Figure 7: the datasets — rendered as ASCII density maps (log-scaled)
+//! and exported as CSV point samples for external plotting.
+
+use dam_data::DatasetKind;
+use dam_eval::{CliArgs, EvalContext, Report};
+use dam_geo::{Grid2D, Histogram2D};
+
+/// Density shades from empty to dense.
+const SHADES: [char; 7] = [' ', '.', ':', '-', '=', '%', '@'];
+
+fn ascii_density(h: &Histogram2D, cols: u32) -> String {
+    let d = h.grid().d();
+    let max = h.values().iter().cloned().fold(0.0f64, f64::max).max(1.0);
+    let mut out = String::new();
+    for iy in (0..d).rev() {
+        out.push_str("  ");
+        for ix in 0..cols.min(d) {
+            let v = h.get(dam_geo::CellIndex::new(ix, iy));
+            let t = if v <= 0.0 { 0.0 } else { (1.0 + v).ln() / (1.0 + max).ln() };
+            let idx = ((t * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+            out.push(SHADES[idx]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let args = CliArgs::parse();
+    let ctx = EvalContext::from_args(&args);
+    let mut report = Report::new(
+        "Figure 7: dataset summary",
+        &["dataset", "part", "points", "nonzero cells (48x48)"],
+    );
+    for kind in DatasetKind::FIGURE_ORDER {
+        let ds = ctx.dataset(kind);
+        for part in &ds.parts {
+            let grid = Grid2D::new(part.bbox, 48);
+            let h = Histogram2D::from_points(grid, &part.points);
+            println!("--- {} part {} ---", ds.name, part.name);
+            println!("{}", ascii_density(&h, 48));
+            let nz = h.values().iter().filter(|v| **v > 0.0).count();
+            report.push_row(vec![
+                ds.name.to_string(),
+                part.name.clone(),
+                part.points.len().to_string(),
+                nz.to_string(),
+            ]);
+            // CSV sample of up to 2,000 points for external plotting.
+            let mut sample = Report::new("points", &["x", "y"]);
+            for p in part.points.iter().take(2000) {
+                sample.push_row(vec![format!("{:.6}", p.x), format!("{:.6}", p.y)]);
+            }
+            let name = format!(
+                "fig7_points_{}_{}",
+                ds.name.to_lowercase().replace('-', "_"),
+                part.name.to_lowercase()
+            );
+            sample.write_csv(&args.out, &name).expect("write csv");
+        }
+    }
+    println!("{}", report.render());
+    let path = report.write_csv(&args.out, "fig7_summary").expect("write csv");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,60 @@
+//! Table III: ranges and point counts of the evaluation datasets.
+//! Regenerates the table from the (simulated) datasets and prints the
+//! paper's reference values next to the measured ones.
+
+use dam_data::DatasetKind;
+use dam_eval::{CliArgs, EvalContext, Report};
+use dam_geo::BoundingBox;
+
+fn main() {
+    let args = CliArgs::parse();
+    let ctx = EvalContext::from_args(&args);
+    let mut report = Report::new(
+        "Table III: dataset ranges and point counts",
+        &["dataset", "part", "x range", "y range", "points", "paper points"],
+    );
+    let paper_counts: &[(&str, &str, usize)] = &[
+        ("Crime", "A", 216_595),
+        ("Crime", "B", 173_552),
+        ("Crime", "C", 69_068),
+        ("NYC", "A", 10_561),
+        ("NYC", "B", 42_195),
+        ("NYC", "C", 9_186),
+        ("Normal", "full", 300_000),
+        ("SZipf", "full", 100_000),
+        ("MNormal", "full", 300_000),
+        ("Crime-full", "full", 101_146),
+        ("NYC-full", "full", 446_110),
+    ];
+    let kinds = [
+        DatasetKind::Crime,
+        DatasetKind::Nyc,
+        DatasetKind::Normal,
+        DatasetKind::SZipf,
+        DatasetKind::MNormal,
+        DatasetKind::CrimeFull,
+        DatasetKind::NycFull,
+    ];
+    for kind in kinds {
+        let ds = ctx.dataset(kind);
+        for part in &ds.parts {
+            let BoundingBox { min_x, min_y, max_x, max_y } = part.bbox;
+            let paper = paper_counts
+                .iter()
+                .find(|(n, p, _)| *n == ds.name && *p == part.name)
+                .map(|(_, _, c)| c.to_string())
+                .unwrap_or_else(|| "-".to_string());
+            report.push_row(vec![
+                ds.name.to_string(),
+                part.name.clone(),
+                format!("[{min_x:.2}, {max_x:.2}]"),
+                format!("[{min_y:.2}, {max_y:.2}]"),
+                part.points.len().to_string(),
+                paper,
+            ]);
+        }
+    }
+    println!("{}", report.render());
+    let path = report.write_csv(&args.out, "table3").expect("write csv");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,33 @@
+//! Table IV: the experimental parameter grid (defaults marked `*`).
+
+use dam_eval::params::Table4;
+use dam_eval::{CliArgs, Report};
+
+fn main() {
+    let args = CliArgs::parse();
+    let mut report = Report::new("Table IV: experimental settings", &["parameter", "values"]);
+    report.push_row(vec![
+        "norm distance b".into(),
+        Table4::B_FACTORS
+            .iter()
+            .map(|f| if *f == 1.0 { "b̌*".to_string() } else { format!("{f:.2}b̌") })
+            .collect::<Vec<_>>()
+            .join(", "),
+    ]);
+    let mut ds: Vec<String> = Table4::D_SMALL.iter().map(|d| d.to_string()).collect();
+    for d in Table4::D_LARGE {
+        if !Table4::D_SMALL.contains(&d) {
+            ds.push(if d == Table4::D_DEFAULT { format!("{d}*") } else { d.to_string() });
+        }
+    }
+    report.push_row(vec!["discrete side length d".into(), ds.join(", ")]);
+    let mut eps: Vec<String> = Table4::EPS_SMALL
+        .iter()
+        .map(|e| if *e == Table4::EPS_DEFAULT { format!("{e}*") } else { format!("{e}") })
+        .collect();
+    eps.extend(Table4::EPS_LARGE.iter().map(|e| format!("{e}")));
+    report.push_row(vec!["privacy budget eps".into(), eps.join(", ")]);
+    println!("{}", report.render());
+    let path = report.write_csv(&args.out, "table4").expect("write csv");
+    println!("csv: {}", path.display());
+}

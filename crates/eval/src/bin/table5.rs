@@ -1,0 +1,38 @@
+//! Table V: the trajectory-experiment parameter grid (defaults `*`).
+
+use dam_eval::params::Table5;
+use dam_eval::{CliArgs, Report};
+
+fn main() {
+    let args = CliArgs::parse();
+    let mut report =
+        Report::new("Table V: trajectory experimental settings", &["parameter", "values"]);
+    report.push_row(vec![
+        "discrete side length d".into(),
+        Table5::D_VALUES
+            .iter()
+            .map(|d| if *d == Table5::D_DEFAULT { format!("{d}*") } else { d.to_string() })
+            .collect::<Vec<_>>()
+            .join(", "),
+    ]);
+    report.push_row(vec![
+        "privacy budget eps".into(),
+        Table5::EPS_VALUES
+            .iter()
+            .map(|e| if *e == Table5::EPS_DEFAULT { format!("{e}*") } else { format!("{e}") })
+            .collect::<Vec<_>>()
+            .join(", "),
+    ]);
+    report.push_row(vec!["trajectories".into(), Table5::N_TRAJS.to_string()]);
+    report.push_row(vec![
+        "trajectory length".into(),
+        format!("{}..{}", Table5::LEN_RANGE.0, Table5::LEN_RANGE.1),
+    ]);
+    report.push_row(vec![
+        "base grid".into(),
+        format!("{0} x {0}", Table5::BASE_GRID),
+    ]);
+    println!("{}", report.render());
+    let path = report.write_csv(&args.out, "table5").expect("write csv");
+    println!("csv: {}", path.display());
+}

@@ -1,0 +1,26 @@
+//! Scratch probe (see git history) — exact vs Sinkhorn at d=20.
+use dam_core::{DamConfig, DamEstimator, SpatialEstimator};
+use dam_data::{load, DatasetKind};
+use dam_geo::rng::seeded;
+use dam_geo::{Grid2D, Histogram2D};
+use dam_transport::metrics::{w2, WassersteinMethod};
+use dam_transport::SinkhornParams;
+
+fn main() {
+    let ds = load(DatasetKind::SZipf, 42);
+    let part = &ds.parts[0];
+    for d in [20u32, 30] {
+        let grid = Grid2D::new(part.bbox, d);
+        let truth = Histogram2D::from_points(grid.clone(), &part.points).normalized();
+        let mut rng = seeded(9);
+        let est = DamEstimator::new(DamConfig::dam(5.0)).estimate(&part.points, &grid, &mut rng);
+        for (name, m) in [
+            ("exact", WassersteinMethod::Exact),
+            ("sink reg1e-3", WassersteinMethod::Sinkhorn(SinkhornParams{reg_rel:1e-3, max_iters:400, tol:1e-8})),
+        ] {
+            let t = std::time::Instant::now();
+            let v = w2(&est, &truth, m).unwrap();
+            println!("d={d} {name:14} W2={v:.4}  ({:.2}s)", t.elapsed().as_secs_f64());
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Minimal command-line parsing shared by every figure binary (no external
+//! dependency; flags documented in the crate docs).
+
+use std::path::PathBuf;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct CliArgs {
+    /// Averaging repetitions per point.
+    pub repeats: usize,
+    /// Optional cap on users per dataset part.
+    pub users: Option<usize>,
+    /// Experiment seed.
+    pub seed: u64,
+    /// CSV output directory.
+    pub out: PathBuf,
+    /// Smoke-test mode.
+    pub fast: bool,
+    /// Skip the Local-Privacy calibration for SEM-Geo-I.
+    pub no_calib: bool,
+}
+
+impl Default for CliArgs {
+    fn default() -> Self {
+        Self {
+            repeats: 3,
+            users: None,
+            seed: 42,
+            out: PathBuf::from("results"),
+            fast: false,
+            no_calib: false,
+        }
+    }
+}
+
+impl CliArgs {
+    /// Parses `std::env::args()`; panics with a usage message on bad input.
+    pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit iterator (testable).
+    pub fn parse_from(args: impl Iterator<Item = String>) -> Self {
+        let mut out = Self::default();
+        let mut it = args.peekable();
+        while let Some(arg) = it.next() {
+            let mut value = |name: &str| -> String {
+                it.next().unwrap_or_else(|| panic!("missing value for {name}"))
+            };
+            match arg.as_str() {
+                "--repeats" => out.repeats = value("--repeats").parse().expect("bad --repeats"),
+                "--users" => out.users = Some(value("--users").parse().expect("bad --users")),
+                "--seed" => out.seed = value("--seed").parse().expect("bad --seed"),
+                "--out" => out.out = PathBuf::from(value("--out")),
+                "--fast" => out.fast = true,
+                "--no-calib" => out.no_calib = true,
+                other => panic!(
+                    "unknown flag {other}; known: --repeats --users --seed --out --fast --no-calib"
+                ),
+            }
+        }
+        if out.fast {
+            out.repeats = 1;
+            out.users.get_or_insert(50_000);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> CliArgs {
+        CliArgs::parse_from(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse("");
+        assert_eq!(a.repeats, 3);
+        assert_eq!(a.seed, 42);
+        assert!(a.users.is_none());
+        assert!(!a.fast);
+    }
+
+    #[test]
+    fn fast_mode_caps_work() {
+        let a = parse("--fast");
+        assert_eq!(a.repeats, 1);
+        assert_eq!(a.users, Some(50_000));
+    }
+
+    #[test]
+    fn explicit_values() {
+        let a = parse("--repeats 7 --users 1000 --seed 9 --out /tmp/x --no-calib");
+        assert_eq!(a.repeats, 7);
+        assert_eq!(a.users, Some(1000));
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.out, PathBuf::from("/tmp/x"));
+        assert!(a.no_calib);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown() {
+        parse("--bogus");
+    }
+}

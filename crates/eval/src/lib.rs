@@ -1,0 +1,30 @@
+//! # dam-eval — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4 for the
+//! index). Every binary accepts:
+//!
+//! ```text
+//! --repeats N   averaging repetitions            (default 3)
+//! --users N     cap on users per dataset part    (default: full dataset)
+//! --seed S      experiment seed                  (default 42)
+//! --out DIR     CSV output directory             (default results/)
+//! --fast        smoke-test mode: 1 repeat, 50k users, fewer MC samples
+//! --no-calib    use ε directly for SEM-Geo-I instead of LP calibration
+//! ```
+//!
+//! Results are printed as aligned tables and written as CSV under the
+//! output directory; `EXPERIMENTS.md` records the paper-vs-measured
+//! comparison for every row.
+
+pub mod cli;
+pub mod context;
+pub mod mechspec;
+pub mod params;
+pub mod report;
+pub mod runner;
+
+pub use cli::CliArgs;
+pub use context::EvalContext;
+pub use mechspec::MechSpec;
+pub use report::Report;
+pub use runner::{run_jobs, Job, JobResult};

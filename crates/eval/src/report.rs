@@ -1,0 +1,123 @@
+//! Result tables: aligned stdout rendering plus CSV persistence.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple column-oriented result table.
+#[derive(Debug, Clone)]
+pub struct Report {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Report {
+    /// Creates an empty report with a title and column names.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header width).
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the report has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders an aligned text table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Writes the table as CSV to `dir/name.csv` (creating `dir`).
+    pub fn write_csv(&self, dir: &Path, name: &str) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{name}.csv"));
+        let mut s = String::new();
+        let esc = |c: &str| {
+            if c.contains(',') || c.contains('"') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let _ = writeln!(s, "{}", self.header.iter().map(|h| esc(h)).collect::<Vec<_>>().join(","));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+        }
+        std::fs::write(&path, s)?;
+        Ok(path)
+    }
+}
+
+/// Formats a float with 4 decimals for table cells.
+pub fn fmt4(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("demo", &["name", "value"]);
+        r.push_row(vec!["alpha".into(), "1".into()]);
+        r.push_row(vec!["b".into(), "22.5".into()]);
+        let text = r.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("alpha"));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn writes_csv_with_escaping() {
+        let dir = std::env::temp_dir().join("dam_eval_report_test");
+        let mut r = Report::new("csv", &["a", "b"]);
+        r.push_row(vec!["x,y".into(), "plain".into()]);
+        let path = r.write_csv(&dir, "t").unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("\"x,y\",plain"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        let mut r = Report::new("bad", &["only"]);
+        r.push_row(vec!["a".into(), "b".into()]);
+    }
+}

@@ -1,0 +1,135 @@
+//! Walker's alias method for O(1) categorical sampling.
+//!
+//! `GridAreaResponse` must draw one noisy cell per user from a fixed
+//! categorical distribution over output cells; with hundreds of thousands
+//! of users per experiment, O(1) sampling after O(k) setup matters (this is
+//! the `O(g)` response cost in the paper's complexity analysis §VI-B).
+
+use rand::Rng;
+
+/// A pre-built alias table over `k` outcomes.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds the table from non-negative weights (not necessarily
+    /// normalised).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, contains a negative or non-finite
+    /// value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one outcome");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w >= 0.0),
+            "weights must be finite and non-negative"
+        );
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let k = weights.len();
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * k as f64 / total).collect();
+        let mut alias = vec![0usize; k];
+        let mut small: Vec<usize> = Vec::new();
+        let mut large: Vec<usize> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s] = l;
+            prob[l] = (prob[l] + prob[s]) - 1.0;
+            if prob[l] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Anything left over is numerically 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i] = 1.0;
+            alias[i] = i;
+        }
+        Self { prob, alias }
+    }
+
+    /// Number of outcomes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true after construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome index in O(1).
+    #[inline]
+    pub fn sample(&self, rng: &mut (impl Rng + ?Sized)) -> usize {
+        let k = self.prob.len();
+        let i = rng.gen_range(0..k);
+        if rng.gen::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empirical_frequencies_match_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(50);
+        let weights = [1.0, 5.0, 0.0, 2.0, 2.0];
+        let t = AliasTable::new(&weights);
+        let n = 500_000;
+        let mut counts = vec![0.0; weights.len()];
+        for _ in 0..n {
+            counts[t.sample(&mut rng)] += 1.0;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let got = counts[i] / n as f64;
+            assert!((got - expect).abs() < 0.005, "outcome {i}: {got} vs {expect}");
+        }
+        assert_eq!(counts[2], 0.0, "zero-weight outcome must never be drawn");
+    }
+
+    #[test]
+    fn single_outcome() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        let t = AliasTable::new(&[3.0]);
+        for _ in 0..10 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(52);
+        let t = AliasTable::new(&[1.0; 7]);
+        let mut seen = vec![false; 7];
+        for _ in 0..10_000 {
+            seen[t.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn rejects_zero_total() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,235 @@
+//! Expectation-Maximisation post-processing ("PostProcess" in Algorithm 1).
+//!
+//! Given a known randomisation channel `M` (`P(output | input)`) and the
+//! histogram of observed outputs, EM finds a maximum-likelihood input
+//! distribution. Li et al. \[6\] add a smoothing step between iterations
+//! ("EMS") that regularises the estimate towards ordinal smoothness; the
+//! paper's PostProcess uses the same machinery on the 2-D grid (the 2-D
+//! smoother lives in `dam-core`).
+
+/// Dense channel matrix: `n_out × n_in`, column-stochastic
+/// (`Σ_o at(o, i) = 1` for every input `i`).
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// Number of output symbols.
+    pub n_out: usize,
+    /// Number of input symbols.
+    pub n_in: usize,
+    /// Row-major probabilities `data[o * n_in + i] = P(o | i)`.
+    pub data: Vec<f64>,
+}
+
+impl Channel {
+    /// Builds a channel from row-major values, checking shape and
+    /// column-stochasticity.
+    pub fn new(n_out: usize, n_in: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), n_out * n_in, "channel data does not match shape");
+        for i in 0..n_in {
+            let col: f64 = (0..n_out).map(|o| data[o * n_in + i]).sum();
+            assert!(
+                (col - 1.0).abs() < 1e-6,
+                "channel column {i} sums to {col}, expected 1"
+            );
+        }
+        Self { n_out, n_in, data }
+    }
+
+    /// `P(output o | input i)`.
+    #[inline]
+    pub fn at(&self, o: usize, i: usize) -> f64 {
+        self.data[o * self.n_in + i]
+    }
+}
+
+/// Convergence knobs for [`expectation_maximization`].
+#[derive(Debug, Clone, Copy)]
+pub struct EmParams {
+    /// Hard iteration cap.
+    pub max_iters: usize,
+    /// Stop when the relative log-likelihood improvement falls below this.
+    pub rel_tol: f64,
+}
+
+impl Default for EmParams {
+    fn default() -> Self {
+        Self { max_iters: 1000, rel_tol: 1e-7 }
+    }
+}
+
+/// Runs EM (optionally with a smoothing step — "EMS") and returns the
+/// estimated input distribution (sums to 1).
+///
+/// `counts[o]` is how many users reported output `o`. `smoother`, when
+/// provided, is applied to the estimate after each M-step (it may leave the
+/// vector un-normalised; EM renormalises).
+pub fn expectation_maximization(
+    channel: &Channel,
+    counts: &[f64],
+    smoother: Option<&dyn Fn(&mut [f64])>,
+    params: EmParams,
+) -> Vec<f64> {
+    assert_eq!(counts.len(), channel.n_out, "counts do not match channel outputs");
+    let n_total: f64 = counts.iter().sum();
+    assert!(n_total > 0.0, "no observations");
+    let (n_out, n_in) = (channel.n_out, channel.n_in);
+
+    let mut f = vec![1.0 / n_in as f64; n_in];
+    let mut out = vec![0.0f64; n_out];
+    let mut prev_ll = f64::NEG_INFINITY;
+
+    for _ in 0..params.max_iters {
+        // E: predicted output distribution under the current estimate.
+        for o in 0..n_out {
+            let mut s = 0.0;
+            for i in 0..n_in {
+                s += channel.at(o, i) * f[i];
+            }
+            out[o] = s;
+        }
+        // M: multiplicative update.
+        let mut f_new = vec![0.0f64; n_in];
+        for o in 0..n_out {
+            if counts[o] == 0.0 || out[o] <= 0.0 {
+                continue;
+            }
+            let w = counts[o] / n_total / out[o];
+            for i in 0..n_in {
+                f_new[i] += w * channel.at(o, i) * f[i];
+            }
+        }
+        normalize(&mut f_new);
+        if let Some(s) = smoother {
+            s(&mut f_new);
+            normalize(&mut f_new);
+        }
+        f = f_new;
+
+        // Convergence on observed-data log-likelihood.
+        let mut ll = 0.0;
+        for o in 0..n_out {
+            if counts[o] > 0.0 {
+                ll += counts[o] * out[o].max(1e-300).ln();
+            }
+        }
+        if prev_ll.is_finite() {
+            let denom = prev_ll.abs().max(1e-12);
+            if (ll - prev_ll).abs() / denom < params.rel_tol {
+                break;
+            }
+        }
+        prev_ll = ll;
+    }
+    f
+}
+
+/// The 1-D binomial smoother of SW-EMS: weighted average with kernel
+/// `[1, 2, 1] / 4`, renormalising the kernel at the boundaries.
+pub fn smooth_1d(f: &mut [f64]) {
+    if f.len() < 3 {
+        return;
+    }
+    let src = f.to_vec();
+    for i in 0..src.len() {
+        let mut num = 2.0 * src[i];
+        let mut den = 2.0;
+        if i > 0 {
+            num += src[i - 1];
+            den += 1.0;
+        }
+        if i + 1 < src.len() {
+            num += src[i + 1];
+            den += 1.0;
+        }
+        f[i] = num / den;
+    }
+}
+
+fn normalize(f: &mut [f64]) {
+    let s: f64 = f.iter().sum();
+    if s > 0.0 {
+        for x in f.iter_mut() {
+            *x /= s;
+        }
+    } else {
+        let u = 1.0 / f.len() as f64;
+        f.fill(u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small noisy channel: identity with symmetric leakage.
+    fn noisy_channel(n: usize, keep: f64) -> Channel {
+        let leak = (1.0 - keep) / (n - 1) as f64;
+        let mut data = vec![0.0; n * n];
+        for o in 0..n {
+            for i in 0..n {
+                data[o * n + i] = if o == i { keep } else { leak };
+            }
+        }
+        Channel::new(n, n, data)
+    }
+
+    #[test]
+    fn identity_channel_recovers_input_exactly() {
+        let ch = noisy_channel(4, 1.0 - 1e-12);
+        let counts = [40.0, 30.0, 20.0, 10.0];
+        let f = expectation_maximization(&ch, &counts, None, EmParams::default());
+        for (i, expect) in [0.4, 0.3, 0.2, 0.1].iter().enumerate() {
+            assert!((f[i] - expect).abs() < 1e-6, "bin {i}: {} vs {expect}", f[i]);
+        }
+    }
+
+    #[test]
+    fn noisy_channel_is_deconvolved() {
+        // Expected output counts under keep=0.6 for input (0.7, 0.2, 0.1):
+        // feed exact expected counts; EM must invert the channel.
+        let ch = noisy_channel(3, 0.6);
+        let input = [0.7, 0.2, 0.1];
+        let mut counts = vec![0.0; 3];
+        for o in 0..3 {
+            for i in 0..3 {
+                counts[o] += 1e6 * ch.at(o, i) * input[i];
+            }
+        }
+        let f = expectation_maximization(&ch, &counts, None, EmParams { max_iters: 5000, rel_tol: 1e-12 });
+        for i in 0..3 {
+            assert!((f[i] - input[i]).abs() < 1e-3, "bin {i}: {} vs {}", f[i], input[i]);
+        }
+    }
+
+    #[test]
+    fn estimate_is_a_distribution() {
+        let ch = noisy_channel(5, 0.5);
+        let counts = [10.0, 0.0, 5.0, 0.0, 100.0];
+        let f = expectation_maximization(&ch, &counts, None, EmParams::default());
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(f.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn smoothing_pulls_towards_neighbours() {
+        let mut f = vec![0.0, 1.0, 0.0];
+        smooth_1d(&mut f);
+        assert!(f[0] > 0.0 && f[2] > 0.0 && f[1] < 1.0);
+        // Symmetric input stays symmetric.
+        assert!((f[0] - f[2]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_preserves_uniform() {
+        let mut f = vec![0.25; 4];
+        smooth_1d(&mut f);
+        for x in &f {
+            assert!((x - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "column")]
+    fn channel_rejects_non_stochastic() {
+        Channel::new(2, 2, vec![0.5, 0.5, 0.2, 0.5]);
+    }
+}

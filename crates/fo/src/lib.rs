@@ -1,0 +1,30 @@
+//! # dam-fo — one-dimensional LDP frequency oracles
+//!
+//! The related-work section of the paper builds on a family of 1-D local
+//! differential privacy primitives; the MDSW baseline and the trajectory
+//! mechanisms are assembled from them. This crate implements each from
+//! scratch:
+//!
+//! * [`grr`] — Generalized Random Response (the classic k-ary response and
+//!   the basic Categorical Frequency Oracle of \[3\], \[7\]);
+//! * [`oue`] — Optimized Unary Encoding (Wang et al. \[3\]);
+//! * [`sw`] — the Square Wave mechanism of Li et al. \[6\], the 1-D ancestor
+//!   of the paper's Disk Area Mechanism, with an exactly-integrated
+//!   discrete transition matrix;
+//! * [`em`] — Expectation-Maximisation estimation with optional smoothing
+//!   (the "EMS" of SW-EMS, also used by the paper's PostProcess step);
+//! * [`sr`] — Stochastic Rounding (Duchi et al. \[4\], mean estimation);
+//! * [`pm`] — the Piecewise Mechanism (Wang et al. \[5\], mean estimation).
+
+pub mod alias;
+pub mod em;
+pub mod grr;
+pub mod oue;
+pub mod pm;
+pub mod sr;
+pub mod sw;
+
+pub use em::{expectation_maximization, EmParams};
+pub use grr::Grr;
+pub use oue::Oue;
+pub use sw::SquareWave;

@@ -1,0 +1,155 @@
+//! Optimized Unary Encoding (Wang et al., USENIX Security 2017).
+//!
+//! Each user encodes their value as a one-hot bit vector and flips each bit
+//! independently: the true bit is kept with probability `½`, every other
+//! bit is set with probability `q = 1/(e^ε + 1)`. OUE has lower estimation
+//! variance than GRR for large domains and is the workhorse FO inside the
+//! LDPTrace reproduction.
+
+use rand::Rng;
+
+/// Optimized Unary Encoding over `k` categories at privacy level `ε`.
+#[derive(Debug, Clone)]
+pub struct Oue {
+    k: usize,
+    q: f64,
+    eps: f64,
+}
+
+/// OUE keeps the true bit with probability ½ by construction.
+const P_TRUE: f64 = 0.5;
+
+impl Oue {
+    /// Creates the mechanism.
+    ///
+    /// # Panics
+    /// Panics unless `k ≥ 2` and `eps > 0`.
+    pub fn new(k: usize, eps: f64) -> Self {
+        assert!(k >= 2, "OUE needs at least two categories");
+        assert!(eps > 0.0 && eps.is_finite(), "privacy budget must be positive");
+        Self { k, q: 1.0 / (eps.exp() + 1.0), eps }
+    }
+
+    /// Number of categories.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Probability that a zero bit is flipped on.
+    #[inline]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// The privacy budget the mechanism was built with.
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Randomizes one value, returning the *set bit indices* of the
+    /// perturbed unary encoding (sparse representation: expected size is
+    /// `½ + (k−1)q`, much smaller than `k` for large `ε`).
+    pub fn perturb(&self, v: usize, rng: &mut (impl Rng + ?Sized)) -> Vec<usize> {
+        assert!(v < self.k, "value out of domain");
+        let mut set = Vec::new();
+        for j in 0..self.k {
+            let keep_prob = if j == v { P_TRUE } else { self.q };
+            if rng.gen::<f64>() < keep_prob {
+                set.push(j);
+            }
+        }
+        set
+    }
+
+    /// Accumulates a sparse report into a per-category support counter.
+    pub fn accumulate(&self, report: &[usize], support: &mut [f64]) {
+        assert_eq!(support.len(), self.k, "support vector does not match k");
+        for &j in report {
+            support[j] += 1.0;
+        }
+    }
+
+    /// Unbiased frequency estimation (`FO.E`) from per-category support
+    /// counts out of `n` users.
+    pub fn estimate(&self, support: &[f64], n: usize) -> Vec<f64> {
+        assert_eq!(support.len(), self.k, "support vector does not match k");
+        assert!(n > 0, "no reports to estimate from");
+        support
+            .iter()
+            .map(|&c| (c / n as f64 - self.q) / (P_TRUE - self.q))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn estimate_recovers_frequencies() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let k = 8;
+        let o = Oue::new(k, 1.5);
+        let n = 150_000;
+        let mut support = vec![0.0; k];
+        // True distribution: geometric-ish over 8 categories.
+        let true_f: Vec<f64> = (0..k).map(|i| 0.5f64.powi(i as i32 + 1)).collect();
+        let norm: f64 = true_f.iter().sum();
+        let mut counts_true = vec![0usize; k];
+        for u in 0..n {
+            let t = (u as f64 + 0.5) / n as f64 * norm;
+            let mut acc = 0.0;
+            let mut v = k - 1;
+            for (i, f) in true_f.iter().enumerate() {
+                acc += f;
+                if t <= acc {
+                    v = i;
+                    break;
+                }
+            }
+            counts_true[v] += 1;
+            let rep = o.perturb(v, &mut rng);
+            o.accumulate(&rep, &mut support);
+        }
+        let est = o.estimate(&support, n);
+        for i in 0..k {
+            let t = counts_true[i] as f64 / n as f64;
+            assert!((est[i] - t).abs() < 0.015, "cat {i}: est {} true {t}", est[i]);
+        }
+    }
+
+    #[test]
+    fn true_bit_kept_half_the_time() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let o = Oue::new(4, 2.0);
+        let n = 40_000;
+        let mut kept = 0;
+        for _ in 0..n {
+            if o.perturb(2, &mut rng).contains(&2) {
+                kept += 1;
+            }
+        }
+        let rate = kept as f64 / n as f64;
+        assert!((rate - 0.5).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn q_matches_closed_form() {
+        let o = Oue::new(16, 1.0);
+        assert!((o.q() - 1.0 / (1.0f64.exp() + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_indices_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let o = Oue::new(6, 0.2);
+        for v in 0..6 {
+            for j in o.perturb(v, &mut rng) {
+                assert!(j < 6);
+            }
+        }
+    }
+}

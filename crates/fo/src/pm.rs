@@ -1,0 +1,135 @@
+//! The Piecewise Mechanism (Wang et al. \[5\]).
+//!
+//! Mean-estimation oracle on `[−1, 1]` with output domain `[−s, s]`,
+//! `s = (e^{ε/2} + 1)/(e^{ε/2} − 1)`: a report lands in the favoured
+//! subinterval `[l(v), r(v)]` around the true value with probability
+//! `e^{ε/2}/(e^{ε/2} + 1)` and in the complement otherwise. Unbiased, with
+//! lower variance than SR for larger ε.
+
+use rand::Rng;
+
+/// Piecewise Mechanism on the domain `[−1, 1]`.
+#[derive(Debug, Clone)]
+pub struct PiecewiseMechanism {
+    eps: f64,
+    s: f64,
+    e_half: f64,
+}
+
+impl PiecewiseMechanism {
+    /// Creates the mechanism.
+    ///
+    /// # Panics
+    /// Panics unless `eps > 0`.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps.is_finite(), "privacy budget must be positive");
+        let e_half = (eps / 2.0).exp();
+        Self { eps, s: (e_half + 1.0) / (e_half - 1.0), e_half }
+    }
+
+    /// Privacy budget.
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Output-domain half-width `s`.
+    #[inline]
+    pub fn s(&self) -> f64 {
+        self.s
+    }
+
+    /// Left edge of the favoured subinterval for input `v`.
+    fn l(&self, v: f64) -> f64 {
+        (self.e_half * v - 1.0) / (self.e_half - 1.0)
+    }
+
+    /// Right edge of the favoured subinterval for input `v`.
+    fn r(&self, v: f64) -> f64 {
+        (self.e_half * v + 1.0) / (self.e_half - 1.0)
+    }
+
+    /// Randomizes `v ∈ [−1, 1]` into a report in `[−s, s]`.
+    pub fn perturb(&self, v: f64, rng: &mut (impl Rng + ?Sized)) -> f64 {
+        assert!((-1.0..=1.0).contains(&v), "input must lie in [-1,1]");
+        let (l, r) = (self.l(v), self.r(v));
+        let p_in = self.e_half / (self.e_half + 1.0);
+        if rng.gen::<f64>() < p_in {
+            l + rng.gen::<f64>() * (r - l)
+        } else {
+            // Complement [−s, l) ∪ (r, s], sampled proportionally to length.
+            let left_len = l + self.s;
+            let right_len = self.s - r;
+            let t = rng.gen::<f64>() * (left_len + right_len);
+            if t < left_len {
+                -self.s + t
+            } else {
+                r + (t - left_len)
+            }
+        }
+    }
+
+    /// Mean estimate: PM reports are already unbiased, so this is the
+    /// sample mean.
+    pub fn estimate_mean(&self, reports: &[f64]) -> f64 {
+        assert!(!reports.is_empty(), "no reports");
+        reports.iter().sum::<f64>() / reports.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_estimate_is_unbiased() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(40);
+        let pm = PiecewiseMechanism::new(2.0);
+        for &v in &[-0.9, -0.2, 0.0, 0.5, 1.0] {
+            let reports: Vec<f64> = (0..200_000).map(|_| pm.perturb(v, &mut rng)).collect();
+            let est = pm.estimate_mean(&reports);
+            assert!((est - v).abs() < 0.03, "v {v}: est {est}");
+        }
+    }
+
+    #[test]
+    fn reports_stay_in_output_domain() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let pm = PiecewiseMechanism::new(1.0);
+        for k in 0..200 {
+            let v = -1.0 + 2.0 * k as f64 / 199.0;
+            let rep = pm.perturb(v, &mut rng);
+            assert!(rep.abs() <= pm.s() + 1e-12, "report {rep} outside [-s, s]");
+        }
+    }
+
+    #[test]
+    fn favoured_interval_has_expected_mass() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let pm = PiecewiseMechanism::new(1.5);
+        let v = 0.3;
+        let (l, r) = (pm.l(v), pm.r(v));
+        let n = 100_000;
+        let mut inside = 0;
+        for _ in 0..n {
+            let rep = pm.perturb(v, &mut rng);
+            if rep >= l && rep <= r {
+                inside += 1;
+            }
+        }
+        let expect = pm.e_half / (pm.e_half + 1.0);
+        assert!((inside as f64 / n as f64 - expect).abs() < 0.01);
+    }
+
+    #[test]
+    fn subinterval_width_is_constant() {
+        let pm = PiecewiseMechanism::new(1.0);
+        let w1 = pm.r(-1.0) - pm.l(-1.0);
+        let w2 = pm.r(0.7) - pm.l(0.7);
+        assert!((w1 - w2).abs() < 1e-12);
+        // r(1) = s and l(-1) = -s: favoured band slides across the domain.
+        assert!((pm.r(1.0) - pm.s()).abs() < 1e-12);
+        assert!((pm.l(-1.0) + pm.s()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,90 @@
+//! Stochastic Rounding (Duchi, Wainwright & Jordan \[4\]).
+//!
+//! The minimax-optimal mean-estimation oracle on `[−1, 1]`: report `+1`
+//! with probability `½ + (e^ε − 1)/(2(e^ε + 1)) · v` and `−1` otherwise.
+//! Included because the paper's related-work taxonomy (Table I) positions
+//! DAM against the 1-D numeric oracles; SR gives the workspace a complete
+//! mean-estimation baseline for ablation studies.
+
+use rand::Rng;
+
+/// Stochastic Rounding mechanism on the domain `[−1, 1]`.
+#[derive(Debug, Clone)]
+pub struct StochasticRounding {
+    eps: f64,
+    coeff: f64,
+}
+
+impl StochasticRounding {
+    /// Creates the mechanism.
+    ///
+    /// # Panics
+    /// Panics unless `eps > 0`.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps.is_finite(), "privacy budget must be positive");
+        let e = eps.exp();
+        Self { eps, coeff: (e - 1.0) / (2.0 * (e + 1.0)) }
+    }
+
+    /// Privacy budget.
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Randomizes `v ∈ [−1, 1]` into `±1`.
+    pub fn perturb(&self, v: f64, rng: &mut (impl Rng + ?Sized)) -> f64 {
+        assert!((-1.0..=1.0).contains(&v), "input must lie in [-1,1]");
+        let p_plus = 0.5 + self.coeff * v;
+        if rng.gen::<f64>() < p_plus {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// Unbiased mean estimate from a batch of `±1` reports.
+    pub fn estimate_mean(&self, reports: &[f64]) -> f64 {
+        assert!(!reports.is_empty(), "no reports");
+        let e = self.eps.exp();
+        let scale = (e + 1.0) / (e - 1.0);
+        scale * reports.iter().sum::<f64>() / reports.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_estimate_is_unbiased() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(30);
+        let sr = StochasticRounding::new(1.0);
+        for &v in &[-0.8, 0.0, 0.3, 1.0] {
+            let reports: Vec<f64> = (0..200_000).map(|_| sr.perturb(v, &mut rng)).collect();
+            let est = sr.estimate_mean(&reports);
+            assert!((est - v).abs() < 0.02, "v {v}: est {est}");
+        }
+    }
+
+    #[test]
+    fn output_probability_ratio_respects_ldp() {
+        // P[+1 | v=1] / P[+1 | v=-1] = e^eps exactly.
+        let eps = 1.3;
+        let sr = StochasticRounding::new(eps);
+        let p1 = 0.5 + sr.coeff * 1.0;
+        let p2 = 0.5 + sr.coeff * -1.0;
+        assert!((p1 / p2 - eps.exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reports_are_binary() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let sr = StochasticRounding::new(0.5);
+        for _ in 0..100 {
+            let r = sr.perturb(0.2, &mut rng);
+            assert!(r == 1.0 || r == -1.0);
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The Square Wave mechanism (Li et al., SIGMOD 2020 — reference \[6\]).
+//!
+//! SW is the one-dimensional ancestor of the paper's Disk Area Mechanism:
+//! a value `v ∈ [0,1]` is reported within the "wave" `[v − b, v + b]` with
+//! high density `p` and anywhere else in `[−b, 1 + b]` with low density
+//! `q`, where `b` maximises a mutual-information upper bound — exactly the
+//! derivation §V-C adapts to two dimensions. MDSW applies SW per dimension.
+
+use rand::Rng;
+
+/// The continuous Square Wave mechanism on `[0, 1]`.
+#[derive(Debug, Clone)]
+pub struct SquareWave {
+    eps: f64,
+    b: f64,
+    p: f64,
+    q: f64,
+}
+
+impl SquareWave {
+    /// Creates the mechanism with the variance/information-optimal wave
+    /// half-width `b = (εe^ε − e^ε + 1) / (2e^ε(e^ε − 1 − ε))`.
+    ///
+    /// # Panics
+    /// Panics unless `eps > 0`.
+    pub fn new(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps.is_finite(), "privacy budget must be positive");
+        let e = eps.exp();
+        let b = (eps * e - e + 1.0) / (2.0 * e * (e - 1.0 - eps));
+        Self::with_b(eps, b)
+    }
+
+    /// Creates the mechanism with an explicit half-width `b` (used by
+    /// ablations and tests).
+    pub fn with_b(eps: f64, b: f64) -> Self {
+        assert!(eps > 0.0 && eps.is_finite(), "privacy budget must be positive");
+        assert!(b > 0.0 && b.is_finite(), "wave half-width must be positive");
+        let e = eps.exp();
+        let q = 1.0 / (2.0 * b * e + 1.0);
+        let p = e * q;
+        Self { eps, b, p, q }
+    }
+
+    /// Privacy budget.
+    #[inline]
+    pub fn eps(&self) -> f64 {
+        self.eps
+    }
+
+    /// Wave half-width `b`.
+    #[inline]
+    pub fn b(&self) -> f64 {
+        self.b
+    }
+
+    /// High reporting density.
+    #[inline]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Low reporting density.
+    #[inline]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Randomizes `v ∈ [0,1]`, returning a report in `[−b, 1 + b]`.
+    pub fn perturb(&self, v: f64, rng: &mut (impl Rng + ?Sized)) -> f64 {
+        assert!((0.0..=1.0).contains(&v), "input must lie in [0,1]");
+        let high_prob = 2.0 * self.b * self.p;
+        if rng.gen::<f64>() < high_prob {
+            v - self.b + rng.gen::<f64>() * 2.0 * self.b
+        } else {
+            // Low region has total length exactly 1: [−b, v−b) ∪ (v+b, 1+b].
+            let t = rng.gen::<f64>();
+            if t < v {
+                -self.b + t
+            } else {
+                v + self.b + (t - v)
+            }
+        }
+    }
+
+    /// Exactly-integrated discrete transition matrix.
+    ///
+    /// The input domain `[0,1]` is split into `n` equal bins and the output
+    /// domain `[−b̃, 1 + b̃]` (with `b̃ = ⌈b·n⌉/n`, so bins stay aligned)
+    /// into `n + 2⌈b·n⌉` bins of the same width. Entry `(o, i)` is the
+    /// probability that a value uniform in input bin `i` reports into
+    /// output bin `o`; every column sums to 1 (up to floating point).
+    pub fn transition_matrix(&self, n: usize) -> SwMatrix {
+        assert!(n >= 1, "need at least one input bin");
+        let w = 1.0 / n as f64;
+        let pad = (self.b * n as f64).ceil() as usize;
+        let n_out = n + 2 * pad;
+        let mut data = vec![0.0f64; n_out * n];
+        for i in 0..n {
+            let (i0, i1) = (i as f64 * w, (i + 1) as f64 * w);
+            for o in 0..n_out {
+                let (o0, o1) = ((o as f64 - pad as f64) * w, (o as f64 + 1.0 - pad as f64) * w);
+                // Clip the output bin to the mechanism's actual support.
+                let c0 = o0.max(-self.b);
+                let c1 = o1.min(1.0 + self.b);
+                if c1 <= c0 {
+                    continue;
+                }
+                let band = band_area(i0, i1, c0, c1, self.b);
+                let full = (i1 - i0) * (c1 - c0);
+                data[o * n + i] = (self.p * band + self.q * (full - band)) / w;
+            }
+        }
+        SwMatrix { n_out, n_in: n, pad, data }
+    }
+}
+
+/// A dense `n_out × n_in` column-stochastic transition matrix for the
+/// discretized Square Wave mechanism.
+#[derive(Debug, Clone)]
+pub struct SwMatrix {
+    /// Number of output bins.
+    pub n_out: usize,
+    /// Number of input bins.
+    pub n_in: usize,
+    /// Output bins added on each side of the input range.
+    pub pad: usize,
+    /// Row-major probabilities: `data[o * n_in + i] = P(out = o | in = i)`.
+    pub data: Vec<f64>,
+}
+
+impl SwMatrix {
+    /// `P(output bin o | input bin i)`.
+    #[inline]
+    pub fn at(&self, o: usize, i: usize) -> f64 {
+        self.data[o * self.n_in + i]
+    }
+
+    /// Maps a continuous report in `[−b̃, 1+b̃]` to its output bin.
+    pub fn output_bin(&self, report: f64) -> usize {
+        let w = 1.0 / self.n_in as f64;
+        let shifted = report + self.pad as f64 * w;
+        let bin = (shifted / w).floor();
+        (bin.max(0.0) as usize).min(self.n_out - 1)
+    }
+}
+
+/// Area of `{(v, t) : v ∈ [i0,i1], t ∈ [o0,o1], |t − v| ≤ b}` — the exact
+/// overlap between an input bin, an output bin and the wave band.
+///
+/// The integrand `f(t) = max(0, min(i1, t+b) − max(i0, t−b))` is piecewise
+/// linear, so integrating trapezoidally between its breakpoints is exact.
+fn band_area(i0: f64, i1: f64, o0: f64, o1: f64, b: f64) -> f64 {
+    let f = |t: f64| -> f64 { ((i1.min(t + b)) - (i0.max(t - b))).max(0.0) };
+    let mut pts = vec![o0, o1, i0 - b, i0 + b, i1 - b, i1 + b];
+    pts.retain(|&t| t >= o0 && t <= o1);
+    pts.sort_by(|a, c| a.total_cmp(c));
+    pts.dedup();
+    let mut area = 0.0;
+    for k in 0..pts.len().saturating_sub(1) {
+        let (t0, t1) = (pts[k], pts[k + 1]);
+        area += 0.5 * (f(t0) + f(t1)) * (t1 - t0);
+    }
+    area
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn b_has_documented_limits() {
+        // ε → 0: b → 1/2.
+        let small = SquareWave::new(1e-4);
+        assert!((small.b() - 0.5).abs() < 1e-3, "b {}", small.b());
+        // ε → ∞: b → 0.
+        let big = SquareWave::new(20.0);
+        assert!(big.b() < 1e-6, "b {}", big.b());
+    }
+
+    #[test]
+    fn densities_normalise() {
+        for &eps in &[0.5, 1.0, 3.5, 8.0] {
+            let sw = SquareWave::new(eps);
+            // 2b·p + 1·q = 1 (high band width 2b, low region length 1).
+            assert!((2.0 * sw.b() * sw.p() + sw.q() - 1.0).abs() < 1e-12);
+            assert!((sw.p() / sw.q() - eps.exp()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reports_stay_in_output_domain() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(20);
+        let sw = SquareWave::new(1.0);
+        for k in 0..1000 {
+            let v = k as f64 / 999.0;
+            let r = sw.perturb(v, &mut rng);
+            assert!(r >= -sw.b() - 1e-12 && r <= 1.0 + sw.b() + 1e-12, "report {r}");
+        }
+    }
+
+    #[test]
+    fn high_band_frequency_matches_p() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let sw = SquareWave::new(2.0);
+        let v = 0.5;
+        let n = 100_000;
+        let mut inside = 0;
+        for _ in 0..n {
+            if (sw.perturb(v, &mut rng) - v).abs() <= sw.b() {
+                inside += 1;
+            }
+        }
+        let expect = 2.0 * sw.b() * sw.p();
+        let got = inside as f64 / n as f64;
+        assert!((got - expect).abs() < 0.01, "got {got} expect {expect}");
+    }
+
+    #[test]
+    fn transition_matrix_is_column_stochastic() {
+        for &eps in &[0.7, 3.5] {
+            for &n in &[1usize, 4, 16] {
+                let sw = SquareWave::new(eps);
+                let m = sw.transition_matrix(n);
+                for i in 0..n {
+                    let col: f64 = (0..m.n_out).map(|o| m.at(o, i)).sum();
+                    assert!((col - 1.0).abs() < 1e-9, "eps {eps} n {n} col {i}: {col}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_entries_bounded_by_ldp_ratio() {
+        let sw = SquareWave::new(1.4);
+        let m = sw.transition_matrix(8);
+        let e = 1.4f64.exp();
+        for o in 0..m.n_out {
+            for i1 in 0..8 {
+                for i2 in 0..8 {
+                    let (a, b) = (m.at(o, i1), m.at(o, i2));
+                    if b > 1e-15 {
+                        assert!(
+                            a / b <= e + 1e-9,
+                            "ratio {} at out {o}, inputs {i1},{i2}",
+                            a / b
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_agrees_with_sampling() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let sw = SquareWave::new(1.0);
+        let n = 5;
+        let m = sw.transition_matrix(n);
+        // Input bin 2: sample uniformly within the bin and bucket reports.
+        let trials = 200_000;
+        let mut counts = vec![0.0; m.n_out];
+        for _ in 0..trials {
+            let v = (2.0 + rng.gen::<f64>()) / n as f64;
+            counts[m.output_bin(sw.perturb(v, &mut rng))] += 1.0;
+        }
+        for o in 0..m.n_out {
+            let got = counts[o] / trials as f64;
+            assert!(
+                (got - m.at(o, 2)).abs() < 0.01,
+                "bin {o}: sampled {got} vs matrix {}",
+                m.at(o, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn band_area_simple_cases() {
+        // Band wide enough to cover everything: area = full rectangle.
+        assert!((band_area(0.0, 1.0, 0.0, 1.0, 10.0) - 1.0).abs() < 1e-12);
+        // Zero-width band: area 0 (measure-zero diagonal).
+        assert!(band_area(0.0, 1.0, 2.0, 3.0, 0.5) < 0.5);
+        // Disjoint: |t - v| <= b unreachable.
+        assert_eq!(band_area(0.0, 1.0, 5.0, 6.0, 0.5), 0.0);
+    }
+}

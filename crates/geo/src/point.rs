@@ -1,0 +1,114 @@
+//! Planar points.
+
+use std::ops::{Add, Mul, Sub};
+
+/// A point in the plane (plan-rectangular coordinates, §III-A of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate.
+    pub x: f64,
+    /// Vertical coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean (2-norm) distance to `other` — the `dis(v, u)` of the paper.
+    #[inline]
+    pub fn dist(&self, other: Point) -> f64 {
+        (*self - other).norm()
+    }
+
+    /// Squared Euclidean distance; avoids the square root when comparing.
+    #[inline]
+    pub fn dist_sq(&self, other: Point) -> f64 {
+        let d = *self - other;
+        d.x * d.x + d.y * d.y
+    }
+
+    /// Euclidean norm of the point treated as a vector.
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.x.hypot(self.y)
+    }
+
+    /// Dot product with `other`, used for Radon-transform projections
+    /// (`x · θ` in Definition 6).
+    #[inline]
+    pub fn dot(&self, other: Point) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Unit vector at angle `theta` (radians): `(cos θ, sin θ)`.
+    #[inline]
+    pub fn unit(theta: f64) -> Self {
+        Self::new(theta.cos(), theta.sin())
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    #[inline]
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    #[inline]
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Point {
+    type Output = Point;
+    #[inline]
+    fn mul(self, k: f64) -> Point {
+        Point::new(self.x * k, self.y * k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(b), 5.0);
+        assert_eq!(a.dist_sq(b), 25.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = Point::new(-1.5, 2.0);
+        let b = Point::new(0.25, -7.0);
+        assert_eq!(a.dist(b), b.dist(a));
+    }
+
+    #[test]
+    fn unit_vector_has_norm_one() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            assert!((Point::unit(theta).norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(a.dot(b), 1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests of the geometric primitives.
+
+use dam_geo::circle::{circle_intersects_rect, circle_rect_intersection_area, rect_inside_circle};
+use dam_geo::{BoundingBox, Grid2D, Histogram2D, Point};
+use proptest::prelude::*;
+
+fn finite_point() -> impl Strategy<Value = Point> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn rect() -> impl Strategy<Value = BoundingBox> {
+    (-5.0f64..5.0, -5.0f64..5.0, 0.01f64..4.0, 0.01f64..4.0)
+        .prop_map(|(x, y, w, h)| BoundingBox::new(x, y, x + w, y + h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn distance_metric_axioms(a in finite_point(), b in finite_point(), c in finite_point()) {
+        prop_assert!(a.dist(b) >= 0.0);
+        prop_assert!((a.dist(b) - b.dist(a)).abs() < 1e-12);
+        prop_assert!(a.dist(c) <= a.dist(b) + b.dist(c) + 1e-9);
+        prop_assert!(a.dist(a) < 1e-12);
+    }
+
+    #[test]
+    fn intersection_area_is_bounded(c in finite_point(), r in 0.01f64..5.0, rect in rect()) {
+        let area = circle_rect_intersection_area(c, r, &rect);
+        prop_assert!(area >= 0.0);
+        prop_assert!(area <= rect.area() + 1e-9, "area {area} exceeds rect {}", rect.area());
+        prop_assert!(area <= std::f64::consts::PI * r * r + 1e-9);
+    }
+
+    #[test]
+    fn intersection_area_monotone_in_radius(
+        c in finite_point(),
+        r in 0.05f64..3.0,
+        grow in 1.01f64..3.0,
+        rect in rect(),
+    ) {
+        let a1 = circle_rect_intersection_area(c, r, &rect);
+        let a2 = circle_rect_intersection_area(c, r * grow, &rect);
+        prop_assert!(a2 + 1e-9 >= a1, "area shrank when radius grew: {a1} -> {a2}");
+    }
+
+    #[test]
+    fn predicates_are_consistent(c in finite_point(), r in 0.05f64..5.0, rect in rect()) {
+        let area = circle_rect_intersection_area(c, r, &rect);
+        if rect_inside_circle(c, r, &rect) {
+            prop_assert!((area - rect.area()).abs() < 1e-6);
+        }
+        if !circle_intersects_rect(c, r, &rect) {
+            prop_assert!(area < 1e-9);
+        }
+        if area > 1e-9 {
+            prop_assert!(circle_intersects_rect(c, r, &rect));
+        }
+    }
+
+    #[test]
+    fn intersection_area_translation_invariant(
+        c in finite_point(),
+        r in 0.05f64..3.0,
+        rect in rect(),
+        dx in -3.0f64..3.0,
+        dy in -3.0f64..3.0,
+    ) {
+        let a1 = circle_rect_intersection_area(c, r, &rect);
+        let moved = BoundingBox::new(rect.min_x + dx, rect.min_y + dy, rect.max_x + dx, rect.max_y + dy);
+        let a2 = circle_rect_intersection_area(Point::new(c.x + dx, c.y + dy), r, &moved);
+        prop_assert!((a1 - a2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_point_maps_into_the_grid(p in finite_point(), d in 1u32..40) {
+        let grid = Grid2D::new(BoundingBox::new(-10.0, -10.0, 10.0, 10.0), d);
+        let c = grid.cell_of(p);
+        prop_assert!(c.ix < d && c.iy < d);
+        // The flattening is a bijection on valid cells.
+        prop_assert_eq!(grid.unflat(grid.flat(c)), c);
+    }
+
+    #[test]
+    fn cell_centers_map_back_to_their_cell(d in 1u32..40, ix in 0u32..40, iy in 0u32..40) {
+        prop_assume!(ix < d && iy < d);
+        let grid = Grid2D::new(BoundingBox::new(-3.0, 2.0, 5.0, 10.0), d);
+        let c = dam_geo::CellIndex::new(ix, iy);
+        prop_assert_eq!(grid.cell_of(grid.cell_center(c)), c);
+    }
+
+    #[test]
+    fn histogram_mass_conservation(
+        pts in prop::collection::vec(finite_point(), 1..200),
+        d in 1u32..16,
+    ) {
+        let grid = Grid2D::new(BoundingBox::new(-10.0, -10.0, 10.0, 10.0), d);
+        let h = Histogram2D::from_points(grid, &pts);
+        prop_assert!((h.total() - pts.len() as f64).abs() < 1e-9);
+        let n = h.normalized();
+        prop_assert!((n.total() - 1.0).abs() < 1e-9);
+        // Marginals conserve mass too.
+        prop_assert!((n.marginal_x().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!((n.marginal_y().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tv_distance_is_a_bounded_metric(
+        a in prop::collection::vec(0.0f64..1.0, 9),
+        b in prop::collection::vec(0.0f64..1.0, 9),
+    ) {
+        let g = Grid2D::new(BoundingBox::unit(), 3);
+        let total_a: f64 = a.iter().sum();
+        let total_b: f64 = b.iter().sum();
+        prop_assume!(total_a > 1e-9 && total_b > 1e-9);
+        let ha = Histogram2D::from_values(g.clone(), a).normalized();
+        let hb = Histogram2D::from_values(g, b).normalized();
+        let d = ha.tv_distance(&hb);
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&d));
+        prop_assert!((ha.tv_distance(&ha)).abs() < 1e-12);
+    }
+}

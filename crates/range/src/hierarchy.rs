@@ -1,0 +1,253 @@
+//! A hierarchical interval oracle in the HIO style (Wang et al. \[9\]).
+//!
+//! The grid is decomposed into a quadtree: level 0 is the whole domain,
+//! level `ℓ` partitions it into `4^ℓ` square nodes, down to (roughly)
+//! cell granularity. Each user samples one level uniformly and reports
+//! their node at that level through OUE with the *full* budget (sampling
+//! a level costs no privacy; this is the standard HIO budget strategy).
+//! The analyst estimates one histogram per level and answers a range
+//! query by greedily covering it with the largest fully-contained nodes,
+//! so long ranges touch O(log) estimated quantities instead of many noisy
+//! leaves.
+//!
+//! This is the baseline the paper's "combine with HIO" remark refers to;
+//! `dam-eval --bin range_queries` compares it against DAM-backed
+//! answering.
+
+use crate::query::RangeQuery;
+use dam_fo::Oue;
+use dam_geo::{Grid2D, Point};
+use rand::Rng;
+
+/// One level of the quadtree: `side × side` nodes, each covering
+/// `cells_per_node × cells_per_node` grid cells.
+#[derive(Debug, Clone)]
+struct Level {
+    side: u32,
+    cells_per_node: u32,
+    /// Estimated node frequencies (clamped, normalized).
+    estimate: Vec<f64>,
+}
+
+/// A trained hierarchical range oracle.
+#[derive(Debug, Clone)]
+pub struct HierarchicalOracle {
+    d: u32,
+    levels: Vec<Level>,
+}
+
+impl HierarchicalOracle {
+    /// Runs the full LDP protocol over `points` and builds the oracle.
+    ///
+    /// Levels are powers of two from 2×2 up to the finest power of two not
+    /// exceeding `grid.d()` (a 1×1 level carries no information and is
+    /// skipped).
+    pub fn fit(
+        points: &[Point],
+        grid: &Grid2D,
+        eps: f64,
+        rng: &mut (impl Rng + ?Sized),
+    ) -> Self {
+        assert!(!points.is_empty(), "cannot fit on zero points");
+        assert!(eps > 0.0 && eps.is_finite(), "privacy budget must be positive");
+        let d = grid.d();
+        let mut sides = Vec::new();
+        let mut s = 2u32;
+        while s <= d {
+            sides.push(s);
+            s *= 2;
+        }
+        if sides.is_empty() {
+            sides.push(1);
+        }
+        let n_levels = sides.len();
+
+        // Per-level OUE supports.
+        let mut oracles: Vec<Oue> = Vec::new();
+        let mut supports: Vec<Vec<f64>> = Vec::new();
+        let mut reporters: Vec<usize> = vec![0; n_levels];
+        for &side in &sides {
+            let n = (side * side).max(2) as usize;
+            oracles.push(Oue::new(n, eps));
+            supports.push(vec![0.0; n]);
+        }
+
+        for &p in points {
+            let level = rng.gen_range(0..n_levels);
+            let side = sides[level];
+            let node = Self::node_of(grid, p, side);
+            let rep = oracles[level].perturb(node, rng);
+            oracles[level].accumulate(&rep, &mut supports[level]);
+            reporters[level] += 1;
+        }
+
+        let levels = sides
+            .iter()
+            .enumerate()
+            .map(|(li, &side)| {
+                let est = if reporters[li] > 0 {
+                    let mut f = oracles[li].estimate(&supports[li], reporters[li]);
+                    // Clamp to the simplex.
+                    let mut total = 0.0;
+                    for x in &mut f {
+                        *x = x.max(0.0);
+                        total += *x;
+                    }
+                    if total > 0.0 {
+                        for x in &mut f {
+                            *x /= total;
+                        }
+                    }
+                    f
+                } else {
+                    vec![1.0 / (side * side) as f64; (side * side) as usize]
+                };
+                Level {
+                    side,
+                    cells_per_node: grid.d().div_ceil(side),
+                    estimate: est,
+                }
+            })
+            .collect();
+        Self { d, levels }
+    }
+
+    /// Maps a point to its node index at a level with `side × side` nodes.
+    fn node_of(grid: &Grid2D, p: Point, side: u32) -> usize {
+        let c = grid.cell_of(p);
+        let per = grid.d().div_ceil(side);
+        let nx = (c.ix / per).min(side - 1);
+        let ny = (c.iy / per).min(side - 1);
+        (ny * side + nx) as usize
+    }
+
+    /// Number of levels in the hierarchy.
+    pub fn n_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Answers a range query: greedy cover with the coarsest
+    /// fully-contained nodes, refining only the fringe.
+    pub fn answer(&self, q: &RangeQuery) -> f64 {
+        assert!(q.x1 < self.d && q.y1 < self.d, "query exceeds the grid");
+        self.answer_rec(q, 0)
+    }
+
+    fn answer_rec(&self, q: &RangeQuery, level: usize) -> f64 {
+        let lv = &self.levels[level];
+        let per = lv.cells_per_node;
+        let mut acc = 0.0;
+        // Nodes of this level overlapping the query.
+        let nx0 = q.x0 / per;
+        let nx1 = q.x1 / per;
+        let ny0 = q.y0 / per;
+        let ny1 = q.y1 / per;
+        for ny in ny0..=ny1 {
+            for nx in nx0..=nx1 {
+                let (cx0, cy0) = (nx * per, ny * per);
+                let (cx1, cy1) =
+                    (((nx + 1) * per - 1).min(self.d - 1), ((ny + 1) * per - 1).min(self.d - 1));
+                let fully = cx0 >= q.x0 && cx1 <= q.x1 && cy0 >= q.y0 && cy1 <= q.y1;
+                let node_mass = lv.estimate[(ny * lv.side + nx) as usize];
+                if fully {
+                    acc += node_mass;
+                } else if level + 1 < self.levels.len() {
+                    // Refine the fringe node at the next level, restricted
+                    // to the overlap.
+                    let sub = RangeQuery::new(
+                        q.x0.max(cx0),
+                        q.y0.max(cy0),
+                        q.x1.min(cx1),
+                        q.y1.min(cy1),
+                    );
+                    acc += self.answer_partial(&sub, level + 1, nx, ny);
+                } else {
+                    // Leaf level: apportion by covered area fraction
+                    // (uniformity assumption inside a leaf).
+                    let overlap_w = q.x1.min(cx1) + 1 - q.x0.max(cx0);
+                    let overlap_h = q.y1.min(cy1) + 1 - q.y0.max(cy0);
+                    let node_cells = (cx1 + 1 - cx0) * (cy1 + 1 - cy0);
+                    acc += node_mass * (overlap_w * overlap_h) as f64 / node_cells as f64;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Like [`Self::answer_rec`], but only over descendants of the node
+    /// `(pnx, pny)` of `parent_level − 1`, rescaled so each level's
+    /// estimate is used consistently (each level is an independent
+    /// estimate of the full distribution, so the restriction is just the
+    /// same recursion on the finer level).
+    fn answer_partial(&self, q: &RangeQuery, level: usize, _pnx: u32, _pny: u32) -> f64 {
+        self.answer_rec(q, level)
+    }
+}
+
+/// Mechanism name used in reports.
+pub const HIO_NAME: &str = "HIO";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_geo::BoundingBox;
+    use rand::SeedableRng;
+
+    fn clustered_points(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                if i % 4 == 0 {
+                    Point::new(0.1, 0.1)
+                } else {
+                    Point::new(0.8, 0.8)
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn node_mapping_covers_grid() {
+        let grid = Grid2D::new(BoundingBox::unit(), 16);
+        for side in [2u32, 4, 8, 16] {
+            for k in 0..50 {
+                let p = Point::new((k as f64 * 0.02) % 1.0, (k as f64 * 0.037) % 1.0);
+                let node = HierarchicalOracle::node_of(&grid, p, side);
+                assert!(node < (side * side) as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn full_range_answers_one() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(230);
+        let grid = Grid2D::new(BoundingBox::unit(), 8);
+        let oracle = HierarchicalOracle::fit(&clustered_points(20_000), &grid, 3.0, &mut rng);
+        let full = RangeQuery::new(0, 0, 7, 7);
+        let ans = oracle.answer(&full);
+        assert!((ans - 1.0).abs() < 0.05, "full-range answer {ans}");
+    }
+
+    #[test]
+    fn recovers_cluster_masses() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(231);
+        let grid = Grid2D::new(BoundingBox::unit(), 8);
+        let pts = clustered_points(60_000);
+        let oracle = HierarchicalOracle::fit(&pts, &grid, 4.0, &mut rng);
+        // Bottom-left quadrant holds 25% of the mass.
+        let q = RangeQuery::new(0, 0, 3, 3);
+        let ans = oracle.answer(&q);
+        assert!((ans - 0.25).abs() < 0.06, "quadrant answer {ans}");
+        // Top-right quadrant holds 75%.
+        let q2 = RangeQuery::new(4, 4, 7, 7);
+        let ans2 = oracle.answer(&q2);
+        assert!((ans2 - 0.75).abs() < 0.06, "quadrant answer {ans2}");
+    }
+
+    #[test]
+    fn level_structure_is_powers_of_two() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(232);
+        let grid = Grid2D::new(BoundingBox::unit(), 16);
+        let oracle = HierarchicalOracle::fit(&clustered_points(1000), &grid, 1.0, &mut rng);
+        assert_eq!(oracle.n_levels(), 4); // sides 2, 4, 8, 16
+    }
+}

@@ -1,0 +1,27 @@
+//! # dam-range — private spatial range queries
+//!
+//! The paper closes its related-work discussion with the claim that DAM
+//! "can combine with the methods of HIO, HDG and AHEAD to further improve
+//! the accuracy in private range query". This crate substantiates that
+//! claim:
+//!
+//! * [`query`] — axis-aligned range queries and a selectivity-controlled
+//!   workload generator;
+//! * [`hierarchy`] — a from-scratch hierarchical interval oracle in the
+//!   HIO \[9\] style: a quadtree over the grid where each user reports one
+//!   uniformly chosen level through OUE with the full budget, and range
+//!   queries are answered by the minimal node cover;
+//! * [`answer`] — answering ranges directly from any
+//!   [`dam_geo::Histogram2D`] estimate (DAM, MDSW, CFO, …), so every
+//!   mechanism in the workspace doubles as a range-query engine.
+//!
+//! The `range_queries` binary in `dam-eval` compares DAM-backed answering
+//! against the hierarchical baseline across selectivities.
+
+pub mod answer;
+pub mod hierarchy;
+pub mod query;
+
+pub use answer::answer_from_histogram;
+pub use hierarchy::HierarchicalOracle;
+pub use query::{random_queries, RangeQuery};

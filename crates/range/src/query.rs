@@ -1,0 +1,102 @@
+//! Range queries and query workloads.
+
+use dam_geo::{CellIndex, Grid2D, Point};
+use rand::Rng;
+
+/// An axis-aligned range over grid cells: columns `x0..=x1`, rows
+/// `y0..=y1` (inclusive).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RangeQuery {
+    /// First column.
+    pub x0: u32,
+    /// Last column (inclusive).
+    pub x1: u32,
+    /// First row.
+    pub y0: u32,
+    /// Last row (inclusive).
+    pub y1: u32,
+}
+
+impl RangeQuery {
+    /// Creates a query, normalising corner order.
+    pub fn new(x0: u32, y0: u32, x1: u32, y1: u32) -> Self {
+        Self { x0: x0.min(x1), x1: x0.max(x1), y0: y0.min(y1), y1: y0.max(y1) }
+    }
+
+    /// Number of cells covered.
+    pub fn cell_count(&self) -> u64 {
+        (self.x1 - self.x0 + 1) as u64 * (self.y1 - self.y0 + 1) as u64
+    }
+
+    /// Does the query contain the cell?
+    pub fn contains(&self, c: CellIndex) -> bool {
+        c.ix >= self.x0 && c.ix <= self.x1 && c.iy >= self.y0 && c.iy <= self.y1
+    }
+
+    /// The true fraction of `points` inside the range under `grid`.
+    pub fn true_answer(&self, grid: &Grid2D, points: &[Point]) -> f64 {
+        if points.is_empty() {
+            return 0.0;
+        }
+        let hits = points.iter().filter(|&&p| self.contains(grid.cell_of(p))).count();
+        hits as f64 / points.len() as f64
+    }
+}
+
+/// Generates `n` random queries whose side length is roughly
+/// `selectivity` times the grid side (selectivity in `(0, 1]`).
+pub fn random_queries(
+    d: u32,
+    n: usize,
+    selectivity: f64,
+    rng: &mut (impl Rng + ?Sized),
+) -> Vec<RangeQuery> {
+    assert!(d >= 1, "grid must have at least one cell");
+    assert!((0.0..=1.0).contains(&selectivity) && selectivity > 0.0, "bad selectivity");
+    let side = ((d as f64 * selectivity).round() as u32).clamp(1, d);
+    (0..n)
+        .map(|_| {
+            let x0 = rng.gen_range(0..=d - side);
+            let y0 = rng.gen_range(0..=d - side);
+            RangeQuery::new(x0, y0, x0 + side - 1, y0 + side - 1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_geo::BoundingBox;
+    use rand::SeedableRng;
+
+    #[test]
+    fn query_normalises_corners() {
+        let q = RangeQuery::new(3, 4, 1, 2);
+        assert_eq!(q, RangeQuery { x0: 1, x1: 3, y0: 2, y1: 4 });
+        assert_eq!(q.cell_count(), 9);
+    }
+
+    #[test]
+    fn true_answer_counts_points() {
+        let grid = Grid2D::new(BoundingBox::unit(), 4);
+        let pts = vec![
+            Point::new(0.1, 0.1), // cell (0,0)
+            Point::new(0.9, 0.9), // cell (3,3)
+            Point::new(0.3, 0.1), // cell (1,0)
+        ];
+        let q = RangeQuery::new(0, 0, 1, 1);
+        assert!((q.true_answer(&grid, &pts) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workload_respects_selectivity() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(220);
+        for sel in [0.1, 0.5, 1.0] {
+            for q in random_queries(20, 50, sel, &mut rng) {
+                assert!(q.x1 < 20 && q.y1 < 20);
+                let expect = ((20.0 * sel).round() as u64).clamp(1, 20);
+                assert_eq!(q.cell_count(), expect * expect);
+            }
+        }
+    }
+}

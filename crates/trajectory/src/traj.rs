@@ -1,0 +1,178 @@
+//! Trajectories and the Appendix-D workload sampler.
+
+use dam_fo::alias::AliasTable;
+use dam_geo::{CellIndex, Grid2D, Point};
+use rand::Rng;
+
+/// An ordered sequence of visited points.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    /// The visited points, in order.
+    pub points: Vec<Point>,
+}
+
+impl Trajectory {
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the trajectory has no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+}
+
+/// Flattens trajectories into one point multiset (the reduction used to
+/// compare trajectory mechanisms against DAM).
+pub fn flatten(trajs: &[Trajectory]) -> Vec<Point> {
+    trajs.iter().flat_map(|t| t.points.iter().copied()).collect()
+}
+
+/// The paper's trajectory workload (Appendix D): divide the base domain
+/// into a `base_d × base_d` grid (300×300 in the paper), then sample
+/// `n_trajs` trajectories whose start cells are drawn proportionally to
+/// point density and which walk to 8-neighbours with probability
+/// proportional to neighbouring point counts; each visited cell
+/// contributes one uniformly chosen point within it.
+pub fn sample_workload(
+    base_points: &[Point],
+    grid: &Grid2D,
+    n_trajs: usize,
+    len_range: (usize, usize),
+    rng: &mut (impl Rng + ?Sized),
+) -> Vec<Trajectory> {
+    assert!(!base_points.is_empty(), "need base points to sample a workload");
+    assert!(len_range.0 >= 1 && len_range.0 <= len_range.1, "bad length range");
+    let d = grid.d() as i64;
+    let n_cells = grid.n_cells();
+
+    // Cell → indices of points inside it.
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); n_cells];
+    for (i, &p) in base_points.iter().enumerate() {
+        members[grid.flat(grid.cell_of(p))].push(i as u32);
+    }
+    let counts: Vec<f64> = members.iter().map(|m| m.len() as f64).collect();
+    let start_alias = AliasTable::new(&counts);
+
+    // Takes a pre-drawn uniform variate so the helper stays independent of
+    // the (possibly unsized) RNG type.
+    let pick_point = |cell: usize, u: f64| -> Point {
+        let m = &members[cell];
+        if m.is_empty() {
+            grid.cell_center(grid.unflat(cell))
+        } else {
+            let idx = ((u * m.len() as f64) as usize).min(m.len() - 1);
+            base_points[m[idx] as usize]
+        }
+    };
+
+    let mut out = Vec::with_capacity(n_trajs);
+    for _ in 0..n_trajs {
+        let len = rng.gen_range(len_range.0..=len_range.1);
+        let mut cell = grid.unflat(start_alias.sample(rng));
+        let mut pts = Vec::with_capacity(len);
+        pts.push(pick_point(grid.flat(cell), rng.gen()));
+        while pts.len() < len {
+            // 8-neighbourhood weighted by point counts; when all empty,
+            // uniform over in-grid neighbours.
+            let mut neigh: Vec<(CellIndex, f64)> = Vec::with_capacity(8);
+            for dy in -1..=1i64 {
+                for dx in -1..=1i64 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let (nx, ny) = (cell.ix as i64 + dx, cell.iy as i64 + dy);
+                    if nx < 0 || ny < 0 || nx >= d || ny >= d {
+                        continue;
+                    }
+                    let c = CellIndex::new(nx as u32, ny as u32);
+                    neigh.push((c, counts[grid.flat(c)]));
+                }
+            }
+            let total: f64 = neigh.iter().map(|n| n.1).sum();
+            let next = if total > 0.0 {
+                let mut t = rng.gen::<f64>() * total;
+                let mut chosen = neigh[neigh.len() - 1].0;
+                for &(c, w) in &neigh {
+                    if t < w {
+                        chosen = c;
+                        break;
+                    }
+                    t -= w;
+                }
+                chosen
+            } else {
+                neigh[rng.gen_range(0..neigh.len())].0
+            };
+            cell = next;
+            pts.push(pick_point(grid.flat(cell), rng.gen()));
+        }
+        out.push(Trajectory { points: pts });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_geo::BoundingBox;
+    use rand::SeedableRng;
+
+    fn base() -> (Vec<Point>, Grid2D) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(170);
+        let pts: Vec<Point> = (0..5_000)
+            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
+            .collect();
+        (pts, Grid2D::new(BoundingBox::unit(), 30))
+    }
+
+    #[test]
+    fn workload_has_requested_shape() {
+        let (pts, grid) = base();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(171);
+        let trajs = sample_workload(&pts, &grid, 50, (2, 20), &mut rng);
+        assert_eq!(trajs.len(), 50);
+        for t in &trajs {
+            assert!(t.len() >= 2 && t.len() <= 20);
+        }
+    }
+
+    #[test]
+    fn steps_are_to_adjacent_cells() {
+        let (pts, grid) = base();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(172);
+        let trajs = sample_workload(&pts, &grid, 20, (5, 30), &mut rng);
+        for t in &trajs {
+            for w in t.points.windows(2) {
+                let a = grid.cell_of(w[0]);
+                let b = grid.cell_of(w[1]);
+                let (dx, dy) =
+                    ((a.ix as i64 - b.ix as i64).abs(), (a.iy as i64 - b.iy as i64).abs());
+                assert!(dx <= 1 && dy <= 1, "non-adjacent step {a:?} → {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn starts_follow_density() {
+        // All base mass in one corner: every trajectory must start there.
+        let pts = vec![Point::new(0.05, 0.05); 1000];
+        let grid = Grid2D::new(BoundingBox::unit(), 10);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(173);
+        let trajs = sample_workload(&pts, &grid, 20, (2, 5), &mut rng);
+        for t in &trajs {
+            let c = grid.cell_of(t.points[0]);
+            assert_eq!(c, CellIndex::new(0, 0));
+        }
+    }
+
+    #[test]
+    fn flatten_concatenates() {
+        let t1 = Trajectory { points: vec![Point::new(0.0, 0.0), Point::new(1.0, 1.0)] };
+        let t2 = Trajectory { points: vec![Point::new(0.5, 0.5)] };
+        assert_eq!(flatten(&[t1, t2]).len(), 3);
+    }
+}

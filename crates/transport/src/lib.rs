@@ -1,0 +1,30 @@
+//! # dam-transport — discrete optimal transport
+//!
+//! The paper measures estimation quality with the 2-D Wasserstein distance
+//! (Definition 2 / Equation 17), computed exactly "using Linear Programming"
+//! for small grids and approximately with "Sinkhorn's algorithm" for large
+//! ones, and analyses mechanisms through the *sliced* Wasserstein distance
+//! (Definitions 6–7). This crate provides all of those from scratch:
+//!
+//! * [`exact`] — the transportation simplex (MODI / u-v method), an exact LP
+//!   solver specialised to the OT polytope;
+//! * [`sinkhorn`] — entropic-regularised OT in the log domain with
+//!   ε-scaling, matching the paper's large-`d` fallback;
+//! * [`w1d`] — closed-form 1-D Wasserstein distances via quantile coupling;
+//! * [`sliced`] — Radon projections of grid histograms and the sliced
+//!   Wasserstein distance built on [`w1d`];
+//! * [`metrics`] — the high-level `W₂` API used by the experiment harness,
+//!   which picks the exact solver or Sinkhorn by problem size exactly like
+//!   the paper does.
+
+pub mod cost;
+pub mod exact;
+pub mod metrics;
+pub mod sinkhorn;
+pub mod sliced;
+pub mod w1d;
+
+pub use cost::CostMatrix;
+pub use exact::{solve_exact, TransportPlan};
+pub use metrics::{w2_auto, w2_exact, w2_sinkhorn, WassersteinMethod};
+pub use sinkhorn::{sinkhorn_cost, SinkhornParams};

@@ -1,0 +1,264 @@
+//! Entropic-regularised optimal transport (Sinkhorn's algorithm).
+//!
+//! The paper switches from exact LP to "Sinkhorn's algorithm \[31\]" when the
+//! grid gets large (`d ≥ 10`). This implementation works in the log domain
+//! (stable at small regularisation), uses ε-scaling (warm-starting dual
+//! potentials while the regularisation decays geometrically), and finally
+//! *rounds* the approximate coupling onto the transport polytope (Altschuler
+//! et al.'s rounding), so the returned cost is always the cost of a feasible
+//! coupling — an upper bound on the true optimum that converges to it as the
+//! regularisation shrinks.
+
+use crate::cost::CostMatrix;
+use crate::exact::TransportError;
+
+/// Tuning knobs for [`sinkhorn_cost`].
+#[derive(Debug, Clone, Copy)]
+pub struct SinkhornParams {
+    /// Final regularisation strength, *relative to the largest ground cost*
+    /// (`reg_abs = reg_rel · max(C)`). Smaller is more accurate but slower.
+    pub reg_rel: f64,
+    /// Maximum Sinkhorn iterations per ε-scaling stage.
+    pub max_iters: usize,
+    /// Stop a stage when the L1 marginal violation drops below this.
+    pub tol: f64,
+}
+
+impl Default for SinkhornParams {
+    fn default() -> Self {
+        Self { reg_rel: 2e-3, max_iters: 2000, tol: 1e-9 }
+    }
+}
+
+/// Computes an entropically-regularised transport cost between `a` and `b`
+/// under `cost`, returning the cost of a feasible (rounded) coupling.
+///
+/// Masses are rescaled to sum to one, like [`crate::exact::solve_exact`].
+pub fn sinkhorn_cost(
+    a: &[f64],
+    b: &[f64],
+    cost: &CostMatrix,
+    params: SinkhornParams,
+) -> Result<f64, TransportError> {
+    assert_eq!(a.len(), cost.rows(), "source mass length mismatch");
+    assert_eq!(b.len(), cost.cols(), "target mass length mismatch");
+    let sa: f64 = a.iter().sum();
+    let sb: f64 = b.iter().sum();
+    if sa <= 0.0 || sb <= 0.0 {
+        return Err(TransportError::EmptyDistribution);
+    }
+    if ((sa - sb) / sa.max(sb)).abs() > 1e-6 {
+        return Err(TransportError::UnbalancedMass { source: sa, target: sb });
+    }
+
+    let rows: Vec<usize> = (0..a.len()).filter(|&i| a[i] > 0.0).collect();
+    let cols: Vec<usize> = (0..b.len()).filter(|&j| b[j] > 0.0).collect();
+    let m = rows.len();
+    let n = cols.len();
+    let av: Vec<f64> = rows.iter().map(|&i| a[i] / sa).collect();
+    let bv: Vec<f64> = cols.iter().map(|&j| b[j] / sb).collect();
+    // Dense sub-cost in filtered index space.
+    let mut c = vec![0.0f64; m * n];
+    for (ii, &i) in rows.iter().enumerate() {
+        for (jj, &j) in cols.iter().enumerate() {
+            c[ii * n + jj] = cost.at(i, j);
+        }
+    }
+    let cmax = c.iter().fold(0.0f64, |x, &y| x.max(y));
+    if cmax == 0.0 {
+        return Ok(0.0); // all supports coincide
+    }
+
+    let reg_final = (params.reg_rel * cmax).max(1e-300);
+    let log_a: Vec<f64> = av.iter().map(|x| x.ln()).collect();
+    let log_b: Vec<f64> = bv.iter().map(|x| x.ln()).collect();
+    let mut f = vec![0.0f64; m];
+    let mut g = vec![0.0f64; n];
+
+    // ε-scaling schedule: geometric decay from a large regularisation.
+    let mut reg = (0.5 * cmax).max(reg_final);
+    loop {
+        sinkhorn_stage(&log_a, &log_b, &c, m, n, reg, params.max_iters, params.tol, &mut f, &mut g);
+        if reg <= reg_final {
+            break;
+        }
+        reg = (reg * 0.5).max(reg_final);
+    }
+
+    // Assemble the (possibly slightly infeasible) coupling, then round it.
+    let mut p = vec![0.0f64; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            p[i * n + j] = ((f[i] + g[j] - c[i * n + j]) / reg_final).exp();
+        }
+    }
+    round_to_polytope(&mut p, &av, &bv, m, n);
+
+    let total: f64 = p.iter().zip(&c).map(|(x, y)| x * y).sum();
+    Ok(total)
+}
+
+/// One ε-scaling stage: alternating log-domain updates at fixed `reg`.
+#[allow(clippy::too_many_arguments)]
+fn sinkhorn_stage(
+    log_a: &[f64],
+    log_b: &[f64],
+    c: &[f64],
+    m: usize,
+    n: usize,
+    reg: f64,
+    max_iters: usize,
+    tol: f64,
+    f: &mut [f64],
+    g: &mut [f64],
+) {
+    let mut scratch = vec![0.0f64; m.max(n)];
+    for _ in 0..max_iters {
+        // f update: f_i = reg * (log a_i - LSE_j((g_j - C_ij)/reg))
+        for i in 0..m {
+            for (j, s) in scratch[..n].iter_mut().enumerate() {
+                *s = (g[j] - c[i * n + j]) / reg;
+            }
+            f[i] = reg * (log_a[i] - logsumexp(&scratch[..n]));
+        }
+        // g update and convergence check on row marginals.
+        for j in 0..n {
+            for (i, s) in scratch[..m].iter_mut().enumerate() {
+                *s = (f[i] - c[i * n + j]) / reg;
+            }
+            g[j] = reg * (log_b[j] - logsumexp(&scratch[..m]));
+        }
+        // Row-marginal violation after the g update.
+        let mut err = 0.0;
+        for i in 0..m {
+            let mut row = 0.0;
+            for j in 0..n {
+                row += ((f[i] + g[j] - c[i * n + j]) / reg).exp();
+            }
+            err += (row - log_a[i].exp()).abs();
+        }
+        if err < tol {
+            break;
+        }
+    }
+}
+
+/// Numerically stable log-sum-exp.
+fn logsumexp(xs: &[f64]) -> f64 {
+    let mx = xs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b));
+    if mx == f64::NEG_INFINITY {
+        return f64::NEG_INFINITY;
+    }
+    mx + xs.iter().map(|x| (x - mx).exp()).sum::<f64>().ln()
+}
+
+/// Rounds an almost-coupling onto the transport polytope
+/// (Altschuler, Weed & Rigollet 2017, Algorithm 2).
+fn round_to_polytope(p: &mut [f64], a: &[f64], b: &[f64], m: usize, n: usize) {
+    // Scale rows down to at most their target marginal.
+    for i in 0..m {
+        let row: f64 = p[i * n..(i + 1) * n].iter().sum();
+        if row > a[i] && row > 0.0 {
+            let s = a[i] / row;
+            for v in &mut p[i * n..(i + 1) * n] {
+                *v *= s;
+            }
+        }
+    }
+    // Scale columns down to at most their target marginal.
+    for j in 0..n {
+        let mut col = 0.0;
+        for i in 0..m {
+            col += p[i * n + j];
+        }
+        if col > b[j] && col > 0.0 {
+            let s = b[j] / col;
+            for i in 0..m {
+                p[i * n + j] *= s;
+            }
+        }
+    }
+    // Distribute the remaining deficit as a rank-one correction.
+    let mut era = vec![0.0f64; m];
+    let mut erb = vec![0.0f64; n];
+    for i in 0..m {
+        let row: f64 = p[i * n..(i + 1) * n].iter().sum();
+        era[i] = (a[i] - row).max(0.0);
+    }
+    for j in 0..n {
+        let mut col = 0.0;
+        for i in 0..m {
+            col += p[i * n + j];
+        }
+        erb[j] = (b[j] - col).max(0.0);
+    }
+    let ta: f64 = era.iter().sum();
+    if ta > 0.0 {
+        for i in 0..m {
+            for j in 0..n {
+                p[i * n + j] += era[i] * erb[j] / ta;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::solve_exact;
+    use dam_geo::Point;
+    use rand::{Rng, SeedableRng};
+
+    fn random_dist(n: usize, rng: &mut impl Rng) -> Vec<f64> {
+        let mut v: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() + 0.01).collect();
+        let s: f64 = v.iter().sum();
+        for x in &mut v {
+            *x /= s;
+        }
+        v
+    }
+
+    #[test]
+    fn close_to_exact_on_random_instances() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for trial in 0..5 {
+            let pts: Vec<Point> = (0..12)
+                .map(|_| Point::new(rng.gen::<f64>() * 4.0, rng.gen::<f64>() * 4.0))
+                .collect();
+            let a = random_dist(12, &mut rng);
+            let b = random_dist(12, &mut rng);
+            let c = CostMatrix::euclidean_pow(&pts, &pts, 2);
+            let exact = solve_exact(&a, &b, &c).unwrap().cost;
+            let approx = sinkhorn_cost(&a, &b, &c, SinkhornParams::default()).unwrap();
+            // Rounded coupling => feasible => cost >= optimum (minus fp noise).
+            assert!(approx >= exact - 1e-9, "trial {trial}: {approx} < {exact}");
+            assert!(
+                (approx - exact).abs() <= 0.05 * exact.max(0.05),
+                "trial {trial}: sinkhorn {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_distributions_cost_near_zero() {
+        let pts: Vec<Point> = (0..9).map(|i| Point::new((i % 3) as f64, (i / 3) as f64)).collect();
+        let a = vec![1.0 / 9.0; 9];
+        let c = CostMatrix::euclidean_pow(&pts, &pts, 2);
+        let cost = sinkhorn_cost(&a, &a, &c, SinkhornParams::default()).unwrap();
+        assert!(cost < 1e-2, "cost {cost}");
+    }
+
+    #[test]
+    fn logsumexp_stability() {
+        assert!((logsumexp(&[0.0, 0.0]) - std::f64::consts::LN_2).abs() < 1e-12);
+        assert!((logsumexp(&[-1000.0, -1000.0]) - (-1000.0 + std::f64::consts::LN_2)).abs() < 1e-9);
+        assert_eq!(logsumexp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let pts = [Point::new(0.0, 0.0)];
+        let c = CostMatrix::euclidean_pow(&pts, &pts, 2);
+        assert!(sinkhorn_cost(&[0.0], &[0.0], &c, SinkhornParams::default()).is_err());
+    }
+}

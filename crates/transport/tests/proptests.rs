@@ -1,0 +1,126 @@
+//! Property-based tests of the optimal-transport solvers.
+
+use dam_geo::Point;
+use dam_transport::cost::CostMatrix;
+use dam_transport::exact::solve_exact;
+use dam_transport::sinkhorn::{sinkhorn_cost, SinkhornParams};
+use dam_transport::w1d::{wasserstein_1d, wasserstein_1d_pow};
+use proptest::prelude::*;
+
+fn masses(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.01f64..1.0, n).prop_map(|v| {
+        let s: f64 = v.iter().sum();
+        v.into_iter().map(|x| x / s).collect()
+    })
+}
+
+fn points(n: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((-4.0f64..4.0, -4.0f64..4.0), n)
+        .prop_map(|v| v.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn exact_plan_is_feasible_and_nonnegative(
+        a in masses(7),
+        b in masses(7),
+        pa in points(7),
+        pb in points(7),
+    ) {
+        let cost = CostMatrix::euclidean_pow(&pa, &pb, 2);
+        let plan = solve_exact(&a, &b, &cost).unwrap();
+        prop_assert!(plan.cost >= -1e-12);
+        let mut rows = vec![0.0; 7];
+        let mut cols = vec![0.0; 7];
+        for &(i, j, f) in &plan.flows {
+            prop_assert!(f >= 0.0);
+            rows[i] += f;
+            cols[j] += f;
+        }
+        for i in 0..7 {
+            prop_assert!((rows[i] - a[i]).abs() < 1e-6, "row {i}");
+            prop_assert!((cols[i] - b[i]).abs() < 1e-6, "col {i}");
+        }
+    }
+
+    #[test]
+    fn exact_cost_below_any_product_coupling(
+        a in masses(6),
+        b in masses(6),
+        pa in points(6),
+        pb in points(6),
+    ) {
+        // The independent coupling a⊗b is feasible, so its cost upper
+        // bounds the optimum.
+        let cost = CostMatrix::euclidean_pow(&pa, &pb, 2);
+        let opt = solve_exact(&a, &b, &cost).unwrap().cost;
+        let mut product = 0.0;
+        for i in 0..6 {
+            for j in 0..6 {
+                product += a[i] * b[j] * cost.at(i, j);
+            }
+        }
+        prop_assert!(opt <= product + 1e-9, "optimum {opt} above product {product}");
+    }
+
+    #[test]
+    fn exact_matches_1d_solver_on_collinear_supports(
+        a in masses(8),
+        b in masses(8),
+        xs in prop::collection::vec(-5.0f64..5.0, 8),
+    ) {
+        let pts: Vec<Point> = xs.iter().map(|&x| Point::new(x, 0.0)).collect();
+        let cost = CostMatrix::euclidean_pow(&pts, &pts, 2);
+        let plan = solve_exact(&a, &b, &cost).unwrap();
+        let wa: Vec<(f64, f64)> = xs.iter().zip(&a).map(|(&x, &m)| (x, m)).collect();
+        let wb: Vec<(f64, f64)> = xs.iter().zip(&b).map(|(&x, &m)| (x, m)).collect();
+        let w1d = wasserstein_1d_pow(&wa, &wb, 2);
+        prop_assert!((plan.cost - w1d).abs() < 1e-6, "2d {} vs 1d {}", plan.cost, w1d);
+    }
+
+    #[test]
+    fn sinkhorn_sandwiches_exact(
+        a in masses(6),
+        b in masses(6),
+        pa in points(6),
+        pb in points(6),
+    ) {
+        let cost = CostMatrix::euclidean_pow(&pa, &pb, 2);
+        let exact = solve_exact(&a, &b, &cost).unwrap().cost;
+        let approx = sinkhorn_cost(&a, &b, &cost, SinkhornParams::default()).unwrap();
+        prop_assert!(approx >= exact - 1e-9, "feasible rounding below optimum");
+        prop_assert!(approx <= exact + 0.1 * cost.max().max(1e-9), "approximation too loose");
+    }
+
+    #[test]
+    fn w1d_scales_linearly_under_dilation(
+        a in masses(5),
+        b in masses(5),
+        xs in prop::collection::vec(-3.0f64..3.0, 5),
+        scale in 0.1f64..4.0,
+    ) {
+        let wa: Vec<(f64, f64)> = xs.iter().zip(&a).map(|(&x, &m)| (x, m)).collect();
+        let wb: Vec<(f64, f64)> = xs.iter().zip(&b).map(|(&x, &m)| (x, m)).collect();
+        let base = wasserstein_1d(&wa, &wb, 1);
+        let sa: Vec<(f64, f64)> = wa.iter().map(|&(x, m)| (x * scale, m)).collect();
+        let sb: Vec<(f64, f64)> = wb.iter().map(|&(x, m)| (x * scale, m)).collect();
+        let scaled = wasserstein_1d(&sa, &sb, 1);
+        prop_assert!((scaled - base * scale).abs() < 1e-9 * (1.0 + scale));
+    }
+
+    #[test]
+    fn w1d_order_relation(
+        a in masses(6),
+        b in masses(6),
+        xs in prop::collection::vec(-3.0f64..3.0, 6),
+    ) {
+        // Jensen: W1 <= W2 for the same coupling geometry.
+        let wa: Vec<(f64, f64)> = xs.iter().zip(&a).map(|(&x, &m)| (x, m)).collect();
+        let wb: Vec<(f64, f64)> = xs.iter().zip(&b).map(|(&x, &m)| (x, m)).collect();
+        let w1 = wasserstein_1d(&wa, &wb, 1);
+        let w2 = wasserstein_1d(&wa, &wb, 2);
+        prop_assert!(w1 <= w2 + 1e-9, "W1 {w1} > W2 {w2}");
+    }
+}

@@ -1,0 +1,58 @@
+//! Private epidemic monitoring: estimating a multi-focal outbreak.
+//!
+//! ```text
+//! cargo run --release --example epidemic_tracking
+//! ```
+//!
+//! The paper's second motivating workload: "a COVID-19 affected area is
+//! more likely to lead to outbreaks in surrounding areas than in distant
+//! ones" — the ordinal structure DAM preserves and categorical oracles
+//! destroy. We simulate three infection foci (the MNormal mixture),
+//! collect case locations under LDP at several privacy budgets and watch
+//! each mechanism's ability to localise the foci.
+
+use spatial_ldp::baselines::{CfoEstimator, CfoFlavor};
+use spatial_ldp::core::{DamConfig, DamEstimator, SpatialEstimator};
+use spatial_ldp::data::synthetic::mnormal_dataset;
+use spatial_ldp::geo::rng::{derived, seeded};
+use spatial_ldp::geo::{BoundingBox, Grid2D, Histogram2D};
+use spatial_ldp::transport::metrics::w2_auto;
+
+fn main() {
+    let mut data_rng = seeded(21);
+    let cases = mnormal_dataset(150_000, &mut data_rng);
+    let bbox = BoundingBox::of_points(&cases).expect("points exist");
+    let d = 10;
+    let grid = Grid2D::new(bbox, d);
+    let truth = Histogram2D::from_points(grid.clone(), &cases).normalized();
+
+    println!("{} simulated case locations, three outbreak foci, grid {d}x{d}\n", cases.len());
+    println!(
+        "{:<8} {:>10} {:>10} {:>10}",
+        "eps", "DAM", "CFO-GRR", "DAM gain"
+    );
+
+    for (i, &eps) in [0.7, 1.4, 2.8, 5.0].iter().enumerate() {
+        let mut rng_a = derived(33, i as u64);
+        let mut rng_b = derived(34, i as u64);
+        let dam = DamEstimator::new(DamConfig::dam(eps)).estimate(&cases, &grid, &mut rng_a);
+        let cfo =
+            CfoEstimator::new(eps, CfoFlavor::Grr).estimate(&cases, &grid, &mut rng_b);
+        let w_dam = w2_auto(&dam, &truth).expect("w2");
+        let w_cfo = w2_auto(&cfo, &truth).expect("w2");
+        println!(
+            "{:<8} {:>10.4} {:>10.4} {:>9.1}%",
+            eps,
+            w_dam,
+            w_cfo,
+            100.0 * (1.0 - w_dam / w_cfo)
+        );
+    }
+
+    println!(
+        "\nThe categorical oracle treats neighbouring districts as unrelated\n\
+         symbols, so its errors scatter across the map; DAM's noise lands\n\
+         *near* the true focus, which is what the Wasserstein metric (and\n\
+         an epidemiologist) cares about."
+    );
+}

@@ -1,0 +1,63 @@
+//! Auditing privacy claims numerically.
+//!
+//! ```text
+//! cargo run --release --example privacy_audit
+//! ```
+//!
+//! Demonstrates the accounting layer: verify a DAM kernel's ε-LDP bound
+//! over every input pair, compute the Local Privacy (expected Bayes
+//! adversary error) of DAM and SEM-Geo-I, and calibrate SEM's ε′ so both
+//! mechanisms leak equally — the unification protocol of §VII-B.
+
+use spatial_ldp::core::grid::KernelKind;
+use spatial_ldp::core::kernel::DiscreteKernel;
+use spatial_ldp::core::radius::optimal_b_cells;
+use spatial_ldp::geo::rng::seeded;
+use spatial_ldp::privacy::audit::ldp_audit;
+use spatial_ldp::privacy::lp::{calibrate_sem_epsilon, lp_dam, lp_sem_monte_carlo};
+
+fn main() {
+    let d = 6u32;
+    println!("grid {d}x{d}\n");
+    println!(
+        "{:<6} {:>4} {:>14} {:>12} {:>14} {:>16}",
+        "eps", "b̂", "worst loss", "LP(DAM)", "eps'(SEM)", "LP(SEM @ eps')"
+    );
+
+    for &eps in &[0.7, 1.4, 2.8, 5.0] {
+        let b = optimal_b_cells(eps, d);
+        let kernel = DiscreteKernel::dam(eps, d, b, KernelKind::Shrunken);
+
+        // 1. The mechanism must never exceed its claimed e^eps ratio.
+        let dd = d as usize;
+        let out_d = kernel.out_d() as usize;
+        let pr = |o: usize, i: usize| {
+            kernel.mass(
+                spatial_ldp::geo::CellIndex::new((i % dd) as u32, (i / dd) as u32),
+                spatial_ldp::geo::CellIndex::new((o % out_d) as u32, (o / out_d) as u32),
+            )
+        };
+        let audit = ldp_audit(dd * dd, out_d * out_d, &pr, eps);
+        assert!(audit.holds(), "kernel violates its own privacy claim!");
+
+        // 2. Translate the guarantee into an adversary-error currency and
+        //    find the Geo-I budget with the same leakage.
+        let lp = lp_dam(&kernel);
+        let mut rng = seeded(99);
+        let eps_sem = calibrate_sem_epsilon(lp, d, 1500, &mut rng);
+        let lp_sem = lp_sem_monte_carlo(eps_sem, d, 4000, &mut rng);
+
+        println!(
+            "{:<6} {:>4} {:>14.6} {:>12.4} {:>14.4} {:>16.4}",
+            eps, b, audit.worst_loss, lp, eps_sem, lp_sem
+        );
+    }
+
+    println!(
+        "\n'worst loss' is the largest observed log probability ratio over\n\
+         all input pairs — always at or below eps, as Theorem IV.1\n\
+         promises. LP is the Bayes adversary's expected localisation error\n\
+         in cells: equal LP values mean equal practical privacy, which is\n\
+         how the paper makes eps-LDP DAM and eps'-Geo-I SEM comparable."
+    );
+}

@@ -1,0 +1,63 @@
+//! Trajectory collection under LDP: LDPTrace vs PivotTrace vs DAM.
+//!
+//! ```text
+//! cargo run --release --example trajectory_synthesis
+//! ```
+//!
+//! Reproduces a miniature of Appendix D: sample a taxi-trip workload from
+//! the NYC-like density, run the three mechanisms and compare how well
+//! each recovers the *point* distribution of the fleet.
+
+use spatial_ldp::data::{load, DatasetKind};
+use spatial_ldp::geo::rng::{derived, seeded};
+use spatial_ldp::geo::Grid2D;
+use spatial_ldp::trajectory::mechanism::{true_distribution, TrajectoryMechanism};
+use spatial_ldp::trajectory::{sample_workload, DamOnPoints, LdpTrace, PivotTrace};
+use spatial_ldp::transport::metrics::w2_auto;
+
+fn main() {
+    let eps = 1.5;
+    let d = 10;
+
+    // The fleet's raw GPS traces (sensitive!).
+    let nyc = load(DatasetKind::Nyc, 5);
+    let part = &nyc.parts[1];
+    let base_grid = Grid2D::new(part.bbox, 100);
+    let mut wl_rng = seeded(61);
+    let trips = sample_workload(&part.points, &base_grid, 300, (2, 60), &mut wl_rng);
+    let total_points: usize = trips.iter().map(|t| t.len()).sum();
+    println!(
+        "{} trips, {} GPS points, privacy budget eps = {eps}, grid {d}x{d}\n",
+        trips.len(),
+        total_points
+    );
+
+    let grid = Grid2D::new(part.bbox, d);
+    let truth = true_distribution(&trips, &grid);
+
+    let mechanisms: Vec<Box<dyn TrajectoryMechanism>> = vec![
+        Box::new(LdpTrace::new(eps)),
+        Box::new(PivotTrace::new(eps)),
+        Box::new(DamOnPoints::new(eps)),
+    ];
+    println!("{:<12} {:>10} {:>10}", "mechanism", "W2", "seconds");
+    for (i, mech) in mechanisms.iter().enumerate() {
+        let mut rng = derived(62, i as u64);
+        let start = std::time::Instant::now();
+        let est = mech.estimate_distribution(&trips, &grid, &mut rng);
+        let err = w2_auto(&est, &truth).expect("w2");
+        println!(
+            "{:<12} {:>10.4} {:>10.2}",
+            mech.name(),
+            err,
+            start.elapsed().as_secs_f64()
+        );
+    }
+
+    println!(
+        "\nLDPTrace and PivotTrace answer a harder question (whole\n\
+         trajectories), so when the analyst only needs the density map,\n\
+         reporting individual points through DAM spends the same budget\n\
+         far more efficiently — the paper's Figure 14 conclusion."
+    );
+}

@@ -1,0 +1,117 @@
+//! Integration-level validation of the paper's theorems, beyond the
+//! per-module unit tests: DAM's sliced-Wasserstein optimality among SAMs
+//! (Theorem V.2), the ε-LDP guarantee of the SAM family (Theorem IV.1 via
+//! audit), and the b* selection rule (§V-C) actually helping utility.
+
+use proptest::prelude::*;
+use spatial_ldp::core::grid::KernelKind;
+use spatial_ldp::core::kernel::DiscreteKernel;
+use spatial_ldp::core::radius::{mutual_information_bound, optimal_b};
+use spatial_ldp::core::sam::{ContinuousDam, ContinuousHuem, Sam};
+use spatial_ldp::geo::{BoundingBox, CellIndex, Grid2D, Histogram2D, Point};
+use spatial_ldp::transport::sliced::sliced_wasserstein_pow;
+
+/// Output distribution of a kernel for one input cell, as a histogram
+/// over the output grid.
+fn output_histogram(kernel: &DiscreteKernel, input: CellIndex) -> Histogram2D {
+    let out_d = kernel.out_d();
+    let grid = Grid2D::new(BoundingBox::square(out_d as f64), out_d);
+    let mut h = Histogram2D::zeros(grid);
+    for oy in 0..out_d {
+        for ox in 0..out_d {
+            let m = kernel.mass(input, CellIndex::new(ox, oy));
+            h.values_mut()[(oy * out_d + ox) as usize] = m;
+        }
+    }
+    h
+}
+
+#[test]
+fn theorem_v2_dam_maximises_pairwise_sliced_distance() {
+    // Theorem V.2: among SAMs with the same (ε, b), DAM maximises the
+    // sliced Wasserstein distance between the output distributions of any
+    // two inputs — the property that makes it the best-separating, hence
+    // best-estimating, mechanism. Compare DAM against HUEM on the
+    // discrete kernels for several input pairs.
+    for &(eps, d, b) in &[(2.0, 8u32, 3u32), (3.5, 10, 3), (1.0, 6, 2)] {
+        let dam = DiscreteKernel::dam(eps, d, b, KernelKind::Shrunken);
+        let huem = DiscreteKernel::huem(eps, d, b);
+        for &(a, c) in &[((0u32, 0u32), (3u32, 2u32)), ((1, 1), (4, 4)), ((0, 2), (5, 2))] {
+            if a.0.max(c.0) >= d || a.1.max(c.1) >= d {
+                continue;
+            }
+            let (va, vc) = (CellIndex::new(a.0, a.1), CellIndex::new(c.0, c.1));
+            let sw_dam = sliced_wasserstein_pow(
+                &output_histogram(&dam, va),
+                &output_histogram(&dam, vc),
+                1,
+                24,
+            );
+            let sw_huem = sliced_wasserstein_pow(
+                &output_histogram(&huem, va),
+                &output_histogram(&huem, vc),
+                1,
+                24,
+            );
+            assert!(
+                sw_dam >= sw_huem * 0.999,
+                "eps {eps} d {d} b {b} inputs {a:?},{c:?}: DAM SW {sw_dam} < HUEM SW {sw_huem}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_iv1_wave_functions_are_bounded() {
+    // Theorem IV.1's proof only needs q ≤ W(z) ≤ e^ε q; check the
+    // continuous mechanisms across the disk.
+    for &(eps, b) in &[(0.7, 0.9), (3.5, 0.23), (7.0, 0.05)] {
+        let dam = ContinuousDam::new(eps, b);
+        let huem = ContinuousHuem::new(eps, b);
+        for k in 0..=50 {
+            let r = b * k as f64 / 50.0;
+            let z = Point::new(r, 0.0);
+            for (name, w, q) in
+                [("DAM", dam.wave(z), dam.q()), ("HUEM", huem.wave(z), huem.q())]
+            {
+                assert!(
+                    w >= q * (1.0 - 1e-12) && w <= q * eps.exp() * (1.0 + 1e-12),
+                    "{name} eps {eps} b {b} r {r}: wave {w} outside [q, e^eps q]"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn optimal_b_beats_perturbed_b_on_information(eps in 0.5f64..8.0, scale in 0.3f64..3.0) {
+        // §V-C: b* maximises the mutual-information bound g(b).
+        let b_star = optimal_b(eps, 1.0);
+        let b_other = b_star * scale;
+        prop_assume!((scale - 1.0).abs() > 0.05);
+        let g_star = mutual_information_bound(b_star, eps, 1.0);
+        let g_other = mutual_information_bound(b_other, eps, 1.0);
+        prop_assert!(g_star + 1e-9 >= g_other,
+            "g(b*) = {g_star} < g({b_other}) = {g_other} at eps {eps}");
+    }
+
+    #[test]
+    fn kernel_mass_ratio_never_exceeds_budget(eps in 0.3f64..6.0, d in 2u32..10, b in 1u32..5) {
+        let k = DiscreteKernel::dam(eps, d, b, KernelKind::Shrunken);
+        prop_assert!(k.worst_case_ratio() <= eps.exp() * (1.0 + 1e-9));
+        let h = DiscreteKernel::huem(eps, d, b);
+        prop_assert!(h.worst_case_ratio() <= eps.exp() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn kernel_masses_always_normalise(eps in 0.3f64..6.0, d in 1u32..12, b in 1u32..6) {
+        let k = DiscreteKernel::dam(eps, d, b, KernelKind::Shrunken);
+        let box_total: f64 = k.offset_masses().iter().sum();
+        let far = k.n_out() as f64 - (k.box_side() * k.box_side()) as f64;
+        let total = box_total + far * k.q_hat();
+        prop_assert!((total - 1.0).abs() < 1e-9, "total mass {total}");
+    }
+}

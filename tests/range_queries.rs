@@ -1,0 +1,67 @@
+//! Integration tests of the range-query extension across crates: any
+//! `SpatialEstimator`'s histogram answers ranges, and the DAM-backed
+//! engine is competitive with the dedicated hierarchical oracle.
+
+use spatial_ldp::core::{DamConfig, DamEstimator, SpatialEstimator};
+use spatial_ldp::data::synthetic::normal_dataset;
+use spatial_ldp::geo::rng::{derived, seeded};
+use spatial_ldp::geo::{BoundingBox, Grid2D};
+use spatial_ldp::range::{answer_from_histogram, random_queries, HierarchicalOracle, RangeQuery};
+
+#[test]
+fn histogram_answers_match_truth_without_noise() {
+    // Zero-noise sanity: answering from the *true* histogram gives the
+    // exact range fractions.
+    let mut rng = seeded(3000);
+    let points = normal_dataset(20_000, &mut rng);
+    let bbox = BoundingBox::of_points(&points).unwrap();
+    let grid = Grid2D::new(bbox, 8);
+    let truth = spatial_ldp::geo::Histogram2D::from_points(grid.clone(), &points).normalized();
+    for q in random_queries(8, 40, 0.4, &mut rng) {
+        let direct = q.true_answer(&grid, &points);
+        let via_hist = answer_from_histogram(&truth, &q);
+        assert!((direct - via_hist).abs() < 1e-9, "query {q:?}");
+    }
+}
+
+#[test]
+fn dam_range_engine_is_accurate_and_consistent() {
+    let mut rng = seeded(3001);
+    let points = normal_dataset(60_000, &mut rng);
+    let bbox = BoundingBox::of_points(&points).unwrap();
+    let grid = Grid2D::new(bbox, 8);
+    let mut mech_rng = derived(3002, 0);
+    let est = DamEstimator::new(DamConfig::dam(2.0)).estimate(&points, &grid, &mut mech_rng);
+    let mut total_err = 0.0;
+    let queries = random_queries(8, 60, 0.5, &mut rng);
+    for q in &queries {
+        let truth = q.true_answer(&grid, &points);
+        let ans = answer_from_histogram(&est, q);
+        assert!((0.0..=1.0 + 1e-9).contains(&ans), "answer out of range: {ans}");
+        total_err += (ans - truth).abs();
+    }
+    let mae = total_err / queries.len() as f64;
+    assert!(mae < 0.05, "mean absolute error {mae}");
+    // Complement consistency: answer(range) + answer(complement rows) ≈ 1
+    // for a full-width split.
+    let top = RangeQuery::new(0, 4, 7, 7);
+    let bottom = RangeQuery::new(0, 0, 7, 3);
+    let sum = answer_from_histogram(&est, &top) + answer_from_histogram(&est, &bottom);
+    assert!((sum - 1.0).abs() < 1e-9, "split answers sum to {sum}");
+}
+
+#[test]
+fn hierarchical_oracle_handles_unaligned_ranges() {
+    let mut rng = seeded(3003);
+    let points = normal_dataset(60_000, &mut rng);
+    let bbox = BoundingBox::of_points(&points).unwrap();
+    let grid = Grid2D::new(bbox, 16);
+    let oracle = HierarchicalOracle::fit(&points, &grid, 3.0, &mut rng);
+    // Ranges that do not align with any quadtree node boundary.
+    for q in [RangeQuery::new(1, 1, 6, 10), RangeQuery::new(3, 0, 12, 5)] {
+        let truth = q.true_answer(&grid, &points);
+        let ans = oracle.answer(&q);
+        assert!(ans.is_finite() && ans >= -1e-9);
+        assert!((ans - truth).abs() < 0.12, "query {q:?}: {ans} vs {truth}");
+    }
+}

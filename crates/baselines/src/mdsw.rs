@@ -67,12 +67,7 @@ impl Mdsw {
 
     /// Runs SW + EMS on one dimension's reports, returning a `d`-bin
     /// marginal estimate.
-    fn estimate_marginal(
-        sw: &SquareWave,
-        d: usize,
-        reports: &[f64],
-        em: EmParams,
-    ) -> Vec<f64> {
+    fn estimate_marginal(sw: &SquareWave, d: usize, reports: &[f64], em: EmParams) -> Vec<f64> {
         let matrix = sw.transition_matrix(d);
         let mut counts = vec![0.0f64; matrix.n_out];
         for &r in reports {
@@ -239,8 +234,9 @@ mod tests {
     #[test]
     fn output_is_valid_distribution() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(112);
-        let pts: Vec<Point> =
-            (0..5_000).map(|i| Point::new((i % 100) as f64 / 100.0, (i % 37) as f64 / 37.0)).collect();
+        let pts: Vec<Point> = (0..5_000)
+            .map(|i| Point::new((i % 100) as f64 / 100.0, (i % 37) as f64 / 37.0))
+            .collect();
         for budget in [MdswBudget::SplitHalf, MdswBudget::SampleOne, MdswBudget::JointEm] {
             let est = Mdsw::new(1.0).with_budget(budget).estimate(&pts, &grid(4), &mut rng);
             assert!((est.total() - 1.0).abs() < 1e-9, "{budget:?}");
@@ -256,8 +252,7 @@ mod tests {
         let pts: Vec<Point> = (0..60_000)
             .map(|i| if i % 2 == 0 { Point::new(0.1, 0.1) } else { Point::new(0.9, 0.9) })
             .collect();
-        let on_diag =
-            |h: &Histogram2D| h.get(CellIndex::new(0, 0)) + h.get(CellIndex::new(1, 1));
+        let on_diag = |h: &Histogram2D| h.get(CellIndex::new(0, 0)) + h.get(CellIndex::new(1, 1));
         let product = Mdsw::new(6.0).estimate(&pts, &grid(2), &mut rng);
         let joint =
             Mdsw::new(6.0).with_budget(MdswBudget::JointEm).estimate(&pts, &grid(2), &mut rng);

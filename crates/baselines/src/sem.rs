@@ -240,9 +240,8 @@ mod tests {
     #[test]
     fn output_is_valid_distribution() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(123);
-        let pts: Vec<Point> = (0..2_000)
-            .map(|i| Point::new((i % 13) as f64 / 13.0, (i % 7) as f64 / 7.0))
-            .collect();
+        let pts: Vec<Point> =
+            (0..2_000).map(|i| Point::new((i % 13) as f64 / 13.0, (i % 7) as f64 / 7.0)).collect();
         let est = SemGeoI::new(2.0).estimate(&pts, &grid(4), &mut rng);
         assert!((est.total() - 1.0).abs() < 1e-9);
         assert!(est.values().iter().all(|&v| v >= 0.0 && v.is_finite()));

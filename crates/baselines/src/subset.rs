@@ -211,11 +211,7 @@ mod tests {
         }
         for u in 0..weights.len() {
             let got = counts[u] / trials as f64;
-            assert!(
-                (got - pi[u]).abs() < 6e-3,
-                "item {u}: sampled {got} vs π {}",
-                pi[u]
-            );
+            assert!((got - pi[u]).abs() < 6e-3, "item {u}: sampled {got} vs π {}", pi[u]);
         }
     }
 

@@ -1,6 +1,11 @@
 //! §VI-B complexity benches: GridAreaResponse is O(1) per report after an
-//! O(b̂²) setup; EM post-processing is linear in channel size; the OT
+//! O(b̂²) setup; EM post-processing through the convolution operator is
+//! O(n_out·b̂²) per iteration vs the dense channel's O(n_out·n_in); the OT
 //! solvers scale as expected.
+//!
+//! The `em_dense_vs_conv` group also emits `BENCH_em.json` at the repo
+//! root — machine-readable medians so later PRs can regress against a
+//! recorded perf trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dam_bench::{bench_grid, bench_points};
@@ -8,7 +13,8 @@ use dam_core::em2d::{post_process, PostProcess};
 use dam_core::grid::KernelKind;
 use dam_core::kernel::DiscreteKernel;
 use dam_core::response::GridAreaResponse;
-use dam_fo::em::EmParams;
+use dam_core::ConvChannel;
+use dam_fo::em::{expectation_maximization, Channel, EmParams};
 use dam_geo::rng::seeded;
 use dam_geo::{CellIndex, Histogram2D};
 use dam_transport::cost::CostMatrix;
@@ -65,15 +71,99 @@ fn bench_postprocess(c: &mut Criterion) {
     group.finish();
 }
 
+/// Synthetic noisy counts for an EM bench at one kernel configuration.
+fn em_counts(kernel: &DiscreteKernel, seed: u64) -> Vec<f64> {
+    let resp = GridAreaResponse::new(kernel.clone());
+    let mut rng = seeded(seed);
+    let mut counts = vec![0.0f64; kernel.n_out()];
+    let d = kernel.d();
+    for k in 0..50_000u32 {
+        let input = CellIndex::new(k % d, (k / 7) % d);
+        let o = resp.respond(input, &mut rng);
+        counts[o.iy as usize * kernel.out_d() as usize + o.ix as usize] += 1.0;
+    }
+    counts
+}
+
+/// Dense vs convolution EM at fixed iteration counts. Dense is skipped at
+/// d = 64 (the 5184 × 4096 matrix is exactly what the conv path exists to
+/// avoid); the conv operator runs every size.
+fn bench_dense_vs_conv(c: &mut Criterion) {
+    const EM_ITERS: usize = 50;
+    const B_HAT: u32 = 4;
+    let params = EmParams { max_iters: EM_ITERS, rel_tol: 0.0 };
+    {
+        let mut group = c.benchmark_group("em_dense_vs_conv");
+        group.sample_size(10);
+        for &d in &[16u32, 32, 64] {
+            let kernel = DiscreteKernel::dam(3.5, d, B_HAT, KernelKind::Shrunken);
+            let counts = em_counts(&kernel, 6);
+            let conv = ConvChannel::new(&kernel);
+            group.bench_with_input(BenchmarkId::new("conv", d), &d, |bench, _| {
+                bench.iter(|| black_box(expectation_maximization(&conv, &counts, None, params)));
+            });
+            if d < 64 {
+                let dense: Channel = kernel.channel();
+                group.bench_with_input(BenchmarkId::new("dense", d), &d, |bench, _| {
+                    bench.iter(|| {
+                        black_box(expectation_maximization(&dense, &counts, None, params))
+                    });
+                });
+            }
+        }
+        group.finish();
+    }
+    emit_bench_json(c, EM_ITERS, B_HAT);
+}
+
+/// Writes `BENCH_em.json` at the repo root: median ns per EM run (fixed
+/// iteration count) for every `em_dense_vs_conv` config, plus the headline
+/// dense/conv speedup at d = 32.
+fn emit_bench_json(c: &Criterion, em_iters: usize, b_hat: u32) {
+    let prefix = "em_dense_vs_conv/";
+    let mut entries = Vec::new();
+    let median = |backend: &str, d: u32| -> Option<f64> {
+        c.results()
+            .iter()
+            .find(|(name, _)| name == &format!("{prefix}{backend}/{d}"))
+            .map(|&(_, ns)| ns)
+    };
+    for &d in &[16u32, 32, 64] {
+        for backend in ["dense", "conv"] {
+            if let Some(ns) = median(backend, d) {
+                entries.push(format!(
+                    "    {{\"d\": {d}, \"b_hat\": {b_hat}, \"backend\": \"{backend}\", \
+                     \"median_ns_per_em\": {ns:.1}, \
+                     \"median_ns_per_iter\": {:.1}}}",
+                    ns / em_iters as f64
+                ));
+            }
+        }
+    }
+    let speedup = match (median("dense", 32), median("conv", 32)) {
+        (Some(dense), Some(conv)) if conv > 0.0 => format!("{:.2}", dense / conv),
+        _ => "null".to_string(),
+    };
+    let json = format!(
+        "{{\n  \"bench\": \"em_dense_vs_conv\",\n  \"em_iters\": {em_iters},\n  \
+         \"configs\": [\n{}\n  ],\n  \"speedup_dense_over_conv_d32\": {speedup}\n}}\n",
+        entries.join(",\n")
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_em.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} (dense/conv speedup at d=32: {speedup}x)"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
 fn bench_transport(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimal_transport");
     group.sample_size(10);
     let mut rng = seeded(4);
     for &n in &[16usize, 64, 144] {
         use rand::Rng;
-        let pts: Vec<dam_geo::Point> = (0..n)
-            .map(|i| dam_geo::Point::new((i % 12) as f64, (i / 12) as f64))
-            .collect();
+        let pts: Vec<dam_geo::Point> =
+            (0..n).map(|i| dam_geo::Point::new((i % 12) as f64, (i / 12) as f64)).collect();
         let a: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() + 0.01).collect();
         let b: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() + 0.01).collect();
         let (sa, sb): (f64, f64) = (a.iter().sum(), b.iter().sum());
@@ -100,5 +190,12 @@ fn bench_histogram(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_response, bench_postprocess, bench_transport, bench_histogram);
+criterion_group!(
+    benches,
+    bench_response,
+    bench_postprocess,
+    bench_dense_vs_conv,
+    bench_transport,
+    bench_histogram
+);
 criterion_main!(benches);

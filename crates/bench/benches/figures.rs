@@ -52,13 +52,7 @@ fn bench_fig9_small_d(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("dam", |b| {
         b.iter(|| {
-            black_box(one_point(
-                &DamEstimator::new(DamConfig::dam(3.5)),
-                &points,
-                &grid,
-                1,
-                true,
-            ))
+            black_box(one_point(&DamEstimator::new(DamConfig::dam(3.5)), &points, &grid, 1, true))
         });
     });
     group.bench_function("mdsw", |b| {
@@ -77,13 +71,7 @@ fn bench_fig9_large_d(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("dam_sinkhorn", |b| {
         b.iter(|| {
-            black_box(one_point(
-                &DamEstimator::new(DamConfig::dam(5.0)),
-                &points,
-                &grid,
-                4,
-                false,
-            ))
+            black_box(one_point(&DamEstimator::new(DamConfig::dam(5.0)), &points, &grid, 4, false))
         });
     });
     group.finish();
@@ -120,13 +108,7 @@ fn bench_fig13(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("dam_crime_full", |b| {
         b.iter(|| {
-            black_box(one_point(
-                &DamEstimator::new(DamConfig::dam(3.5)),
-                points,
-                &grid,
-                6,
-                false,
-            ))
+            black_box(one_point(&DamEstimator::new(DamConfig::dam(3.5)), points, &grid, 6, false))
         });
     });
     group.finish();

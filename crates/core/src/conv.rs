@@ -1,0 +1,266 @@
+//! Convolution-structured reporting channel (§VI-A exploited for speed).
+//!
+//! Every discrete SAM kernel is translation invariant: the mass an input
+//! cell sends to an output cell depends only on their offset, is an
+//! arbitrary value inside the `(2b̂+1)²` box around the input cell, and is
+//! the constant far-field mass `q̂` everywhere else. Writing the channel as
+//!
+//! ```text
+//! M[o, i] = q̂ + δ(o − i)        δ supported on the (2b̂+1)² box
+//! ```
+//!
+//! both EM primitives collapse to a small stencil plus a rank-one term:
+//!
+//! * E-step: `(M·f)[o]   = q̂·Σf + Σ_offsets δ·f`  — O(b̂²) per output cell;
+//! * M-step: `(Mᵀw)[i]   = q̂·Σw + Σ_offsets δ·w`  — O(b̂²) per input cell.
+//!
+//! [`ConvChannel`] implements [`ChannelOp`] this way: O(b̂²) storage and
+//! O(n_out·b̂²) work per EM iteration instead of the dense operator's
+//! O(n_out·n_in) — at `d = 64, b̂ = 8` that is ~26 million multiply-adds
+//! down to ~1.9 million, and ~210 MB of matrix down to 2.3 KB of stencil.
+//! Rows are processed in parallel (`rayon`) when the grid is large enough
+//! for threading to pay off.
+//!
+//! The dense [`Channel`](dam_fo::em::Channel) remains available as the
+//! reference implementation; property tests assert both operators agree to
+//! ≤ 1e-12 on every kernel family, including the `b̂ = 0` degenerate
+//! randomized-response kernel.
+
+use crate::kernel::DiscreteKernel;
+use dam_fo::em::ChannelOp;
+use rayon::prelude::*;
+
+/// Below this many multiply-adds per primitive call, row-parallelism costs
+/// more in thread handoff than it saves; run serially.
+const PARALLEL_WORK_THRESHOLD: usize = 1 << 20;
+
+/// A translation-invariant channel stored as a `(2b̂+1)²` stencil plus the
+/// scalar far-field mass — the convolution-structured [`ChannelOp`].
+#[derive(Debug, Clone)]
+pub struct ConvChannel {
+    /// Input grid side.
+    d: usize,
+    /// Output grid side (`d + 2b̂`).
+    out_d: usize,
+    /// Stencil side (`2b̂+1`).
+    side: usize,
+    /// `offset_mass − far_mass`, row-major from offset `(−b̂, −b̂)`.
+    delta: Vec<f64>,
+    /// Far-field mass `q̂`.
+    far: f64,
+}
+
+impl ConvChannel {
+    /// Builds the convolution operator for a kernel. O(b̂²).
+    pub fn new(kernel: &DiscreteKernel) -> Self {
+        let far = kernel.q_hat();
+        let delta = kernel.offset_masses().iter().map(|&m| m - far).collect();
+        Self {
+            d: kernel.d() as usize,
+            out_d: kernel.out_d() as usize,
+            side: kernel.box_side(),
+            delta,
+            far,
+        }
+    }
+
+    /// Disk radius in cells.
+    #[inline]
+    pub fn b_hat(&self) -> usize {
+        (self.side - 1) / 2
+    }
+
+    /// Far-field mass `q̂`.
+    #[inline]
+    pub fn far_mass(&self) -> f64 {
+        self.far
+    }
+
+    /// One output row of the E-step: `row[ox] = q̂·Σf + Σ_box δ·f`.
+    fn apply_row(&self, f: &[f64], far_term: f64, oy: usize, row: &mut [f64]) {
+        let (d, side) = (self.d, self.side);
+        let b2 = side - 1; // 2b̂
+                           // Input rows iy with 0 ≤ oy − iy ≤ 2b̂, clamped to the grid.
+        let iy_lo = oy.saturating_sub(b2);
+        let iy_hi = oy.min(d - 1);
+        for (ox, cell) in row.iter_mut().enumerate() {
+            let ix_lo = ox.saturating_sub(b2);
+            let ix_hi = ox.min(d - 1);
+            let mut s = 0.0;
+            for iy in iy_lo..=iy_hi {
+                let delta_row = &self.delta[(oy - iy) * side..(oy - iy + 1) * side];
+                let f_row = &f[iy * d..(iy + 1) * d];
+                for ix in ix_lo..=ix_hi {
+                    s += delta_row[ox - ix] * f_row[ix];
+                }
+            }
+            *cell = far_term + s;
+        }
+    }
+
+    /// One input row of the M-step: `row[ix] = f[i]·(q̂·Σw + Σ_box δ·w)`.
+    ///
+    /// Every box offset lands inside the dilated output grid, so unlike
+    /// [`Self::apply_row`] no boundary clamping is needed.
+    fn adjoint_row(&self, w: &[f64], f: &[f64], far_term: f64, iy: usize, row: &mut [f64]) {
+        let (d, out_d, side) = (self.d, self.out_d, self.side);
+        for (ix, cell) in row.iter_mut().enumerate() {
+            let mut s = 0.0;
+            for j in 0..side {
+                let w_row = &w[(iy + j) * out_d + ix..(iy + j) * out_d + ix + side];
+                let delta_row = &self.delta[j * side..(j + 1) * side];
+                for k in 0..side {
+                    s += delta_row[k] * w_row[k];
+                }
+            }
+            *cell = f[iy * d + ix] * (far_term + s);
+        }
+    }
+
+    #[inline]
+    fn stencil_flops(&self) -> usize {
+        self.out_d * self.out_d * self.side * self.side
+    }
+}
+
+impl ChannelOp for ConvChannel {
+    #[inline]
+    fn n_in(&self) -> usize {
+        self.d * self.d
+    }
+
+    #[inline]
+    fn n_out(&self) -> usize {
+        self.out_d * self.out_d
+    }
+
+    fn apply(&self, f: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(f.len(), self.n_in());
+        debug_assert_eq!(out.len(), self.n_out());
+        let far_term = self.far * f.iter().sum::<f64>();
+        if self.stencil_flops() < PARALLEL_WORK_THRESHOLD {
+            for (oy, row) in out.chunks_mut(self.out_d).enumerate() {
+                self.apply_row(f, far_term, oy, row);
+            }
+        } else {
+            out.par_chunks_mut(self.out_d)
+                .enumerate()
+                .for_each(|(oy, row)| self.apply_row(f, far_term, oy, row));
+        }
+    }
+
+    fn accumulate_adjoint(&self, w: &[f64], f: &[f64], f_new: &mut [f64]) {
+        debug_assert_eq!(w.len(), self.n_out());
+        debug_assert_eq!(f.len(), self.n_in());
+        debug_assert_eq!(f_new.len(), self.n_in());
+        let far_term = self.far * w.iter().sum::<f64>();
+        if self.stencil_flops() < PARALLEL_WORK_THRESHOLD {
+            for (iy, row) in f_new.chunks_mut(self.d).enumerate() {
+                self.adjoint_row(w, f, far_term, iy, row);
+            }
+        } else {
+            f_new
+                .par_chunks_mut(self.d)
+                .enumerate()
+                .for_each(|(iy, row)| self.adjoint_row(w, f, far_term, iy, row));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::KernelKind;
+    use dam_fo::em::{expectation_maximization, EmParams};
+    use rand::{Rng, SeedableRng};
+
+    fn random_f(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let v: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() + 1e-3).collect();
+        let s: f64 = v.iter().sum();
+        v.into_iter().map(|x| x / s).collect()
+    }
+
+    #[test]
+    fn apply_matches_dense_on_dam_kernel() {
+        let kernel = DiscreteKernel::dam(2.0, 6, 2, KernelKind::Shrunken);
+        let dense = kernel.channel();
+        let conv = ConvChannel::new(&kernel);
+        let f = random_f(conv.n_in(), 1);
+        let mut out_dense = vec![0.0; conv.n_out()];
+        let mut out_conv = vec![0.0; conv.n_out()];
+        dense.apply(&f, &mut out_dense);
+        conv.apply(&f, &mut out_conv);
+        for (o, (a, b)) in out_dense.iter().zip(&out_conv).enumerate() {
+            assert!((a - b).abs() < 1e-14, "output {o}: {a} vs {b}");
+        }
+        // The image of a distribution is a distribution.
+        assert!((out_conv.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn adjoint_matches_dense_on_huem_kernel() {
+        let kernel = DiscreteKernel::huem(1.5, 5, 3);
+        let dense = kernel.channel();
+        let conv = ConvChannel::new(&kernel);
+        let f = random_f(conv.n_in(), 2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let w: Vec<f64> = (0..conv.n_out()).map(|_| rng.gen::<f64>()).collect();
+        let mut a = vec![0.0; conv.n_in()];
+        let mut b = vec![0.0; conv.n_in()];
+        dense.accumulate_adjoint(&w, &f, &mut a);
+        conv.accumulate_adjoint(&w, &f, &mut b);
+        for i in 0..conv.n_in() {
+            assert!((a[i] - b[i]).abs() < 1e-14, "input {i}: {} vs {}", a[i], b[i]);
+        }
+    }
+
+    #[test]
+    fn degenerate_b_zero_matches_dense() {
+        let kernel = DiscreteKernel::dam(5.0, 7, 0, KernelKind::Shrunken);
+        let dense = kernel.channel();
+        let conv = ConvChannel::new(&kernel);
+        assert_eq!(conv.n_out(), conv.n_in(), "no dilation at b̂ = 0");
+        let f = random_f(conv.n_in(), 4);
+        let mut out_dense = vec![0.0; conv.n_out()];
+        let mut out_conv = vec![0.0; conv.n_out()];
+        dense.apply(&f, &mut out_dense);
+        conv.apply(&f, &mut out_conv);
+        for o in 0..conv.n_out() {
+            assert!((out_dense[o] - out_conv[o]).abs() < 1e-14, "output {o}");
+        }
+    }
+
+    #[test]
+    fn em_fixpoints_agree_with_dense() {
+        let kernel = DiscreteKernel::dam(3.0, 6, 2, KernelKind::NonShrunken);
+        let dense = kernel.channel();
+        let conv = ConvChannel::new(&kernel);
+        let counts: Vec<f64> = (0..conv.n_out()).map(|o| ((o * 7) % 13) as f64).collect();
+        let params = EmParams { max_iters: 80, rel_tol: 0.0 };
+        let fd = expectation_maximization(&dense, &counts, None, params);
+        let fc = expectation_maximization(&conv, &counts, None, params);
+        for i in 0..conv.n_in() {
+            assert!((fd[i] - fc[i]).abs() < 1e-12, "bin {i}: {} vs {}", fd[i], fc[i]);
+        }
+    }
+
+    #[test]
+    fn large_grid_never_materialises_the_matrix() {
+        // d = 64, b̂ = 8: the dense matrix would be 5184² × 4096 ≈ 210 MB;
+        // the conv operator stores a 17×17 stencil and still runs EM.
+        let kernel = DiscreteKernel::dam(3.5, 64, 8, KernelKind::Shrunken);
+        let conv = ConvChannel::new(&kernel);
+        assert_eq!(conv.delta.len(), 17 * 17);
+        let mut counts = vec![1.0; conv.n_out()];
+        counts[40 * 80 + 40] = 500.0;
+        let f = expectation_maximization(
+            &conv,
+            &counts,
+            None,
+            EmParams { max_iters: 25, rel_tol: 1e-9 },
+        );
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(f.iter().all(|&x| x >= 0.0));
+    }
+}

@@ -7,7 +7,7 @@
 //! iterations — the 2-D analogue of SW-EMS's `[1,2,1]/4`.
 
 use crate::kernel::DiscreteKernel;
-use dam_fo::em::{expectation_maximization, EmParams};
+use dam_fo::em::{expectation_maximization, ChannelOp, EmParams};
 use dam_geo::{Grid2D, Histogram2D};
 
 /// Post-processing flavour.
@@ -17,6 +17,18 @@ pub enum PostProcess {
     Em,
     /// EM with 3×3 binomial smoothing between iterations.
     Ems,
+}
+
+/// Which [`ChannelOp`] implementation EM runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EmBackend {
+    /// The O(n_out·b̂²) stencil operator ([`crate::conv::ConvChannel`]) —
+    /// the default for every SAM-family estimate.
+    #[default]
+    Convolution,
+    /// The O(n_out·n_in) dense matrix — reference implementation, used
+    /// for equivalence tests and dense-vs-conv benchmarks.
+    Dense,
 }
 
 /// 3×3 binomial smoothing `[[1,2,1],[2,4,2],[1,2,1]]/16` over a `d × d`
@@ -54,7 +66,9 @@ pub fn smooth_2d(d: usize, f: &mut [f64]) {
 }
 
 /// Runs EM (or EMS) on noisy output-cell counts and returns the estimated
-/// input distribution as a normalized histogram over `input_grid`.
+/// input distribution as a normalized histogram over `input_grid`, using
+/// the convolution-structured operator (never materialises the dense
+/// channel matrix).
 ///
 /// `noisy_counts` must be row-major over the kernel's output grid
 /// (`out_d²` entries).
@@ -65,15 +79,39 @@ pub fn post_process(
     post: PostProcess,
     params: EmParams,
 ) -> Histogram2D {
+    post_process_with(kernel, noisy_counts, input_grid, post, params, EmBackend::Convolution)
+}
+
+/// [`post_process`] with an explicit [`EmBackend`] — the dense path exists
+/// for A/B comparison and regression tests only.
+pub fn post_process_with(
+    kernel: &DiscreteKernel,
+    noisy_counts: &[f64],
+    input_grid: &Grid2D,
+    post: PostProcess,
+    params: EmParams,
+    backend: EmBackend,
+) -> Histogram2D {
     assert_eq!(noisy_counts.len(), kernel.n_out(), "counts do not match output grid");
     assert_eq!(input_grid.d(), kernel.d(), "kernel built for a different grid resolution");
-    let channel = kernel.channel();
+    let conv;
+    let dense;
+    let channel: &dyn ChannelOp = match backend {
+        EmBackend::Convolution => {
+            conv = kernel.conv_channel();
+            &conv
+        }
+        EmBackend::Dense => {
+            dense = kernel.channel();
+            &dense
+        }
+    };
     let d = kernel.d() as usize;
     let smoother = move |f: &mut [f64]| smooth_2d(d, f);
     let est = match post {
-        PostProcess::Em => expectation_maximization(&channel, noisy_counts, None, params),
+        PostProcess::Em => expectation_maximization(channel, noisy_counts, None, params),
         PostProcess::Ems => {
-            expectation_maximization(&channel, noisy_counts, Some(&smoother), params)
+            expectation_maximization(channel, noisy_counts, Some(&smoother), params)
         }
     };
     Histogram2D::from_values(input_grid.clone(), est)

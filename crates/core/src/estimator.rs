@@ -8,7 +8,7 @@
 //! interface the experiment harness drives for DAM, DAM-NS, HUEM and all
 //! the baselines in `dam-baselines`.
 
-use crate::em2d::{post_process, PostProcess};
+use crate::em2d::{post_process_with, EmBackend, PostProcess};
 use crate::grid::KernelKind;
 use crate::kernel::DiscreteKernel;
 use crate::radius::optimal_b_cells;
@@ -79,6 +79,9 @@ pub struct DamConfig {
     pub post: PostProcess,
     /// EM convergence knobs.
     pub em: EmParams,
+    /// Which EM operator to run PostProcess against (convolution by
+    /// default; dense is the reference path for A/B comparison).
+    pub backend: EmBackend,
 }
 
 impl DamConfig {
@@ -90,6 +93,7 @@ impl DamConfig {
             b_hat: None,
             post: PostProcess::Em,
             em: EmParams::default(),
+            backend: EmBackend::Convolution,
         }
     }
 
@@ -175,9 +179,20 @@ impl DamAggregator {
         self.n_reports
     }
 
-    /// Runs PostProcess and returns the estimated distribution.
+    /// Runs PostProcess through the convolution operator and returns the
+    /// estimated distribution.
     pub fn estimate(&self, post: PostProcess, em: EmParams) -> Histogram2D {
-        post_process(&self.kernel, &self.counts, &self.input_grid, post, em)
+        self.estimate_with(post, em, EmBackend::Convolution)
+    }
+
+    /// Runs PostProcess against an explicit [`EmBackend`].
+    pub fn estimate_with(
+        &self,
+        post: PostProcess,
+        em: EmParams,
+        backend: EmBackend,
+    ) -> Histogram2D {
+        post_process_with(&self.kernel, &self.counts, &self.input_grid, post, em, backend)
     }
 }
 
@@ -214,7 +229,7 @@ impl SpatialEstimator for DamEstimator {
             let noisy = client.report(p, rng);
             agg.ingest(noisy);
         }
-        agg.estimate(self.config.post, self.config.em)
+        agg.estimate_with(self.config.post, self.config.em, self.config.backend)
     }
 }
 

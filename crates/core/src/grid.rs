@@ -78,12 +78,7 @@ fn closest_dist_sq(dx: i64, dy: i64) -> f64 {
 /// Unit bounding box of the cell at offset `(dx, dy)` (cell units, input
 /// cell center at the origin).
 fn cell_box(dx: i64, dy: i64) -> BoundingBox {
-    BoundingBox::new(
-        dx as f64 - 0.5,
-        dy as f64 - 0.5,
-        dx as f64 + 0.5,
-        dy as f64 + 0.5,
-    )
+    BoundingBox::new(dx as f64 - 0.5, dy as f64 - 0.5, dx as f64 + 0.5, dy as f64 + 0.5)
 }
 
 /// Shrunken-rectangle area of a *mixed* cell (Theorem VI.1):
@@ -322,8 +317,7 @@ pub fn sh_closed_form(b_hat: u32) -> f64 {
         .iter()
         .map(|&(x, y)| shrunken_area(x as i64, y as i64, b_hat))
         .sum();
-    1.0 + 4.0 * (b_hat as f64 + diag_pure + diag_mixed)
-        + 8.0 * (quarter_pure + quarter_mixed_sum)
+    1.0 + 4.0 * (b_hat as f64 + diag_pure + diag_mixed) + 8.0 * (quarter_pure + quarter_mixed_sum)
 }
 
 #[cfg(test)]
@@ -396,11 +390,7 @@ mod tests {
     #[test]
     fn theorem_vi4_matches_enumeration() {
         for b in 1..=60 {
-            assert_eq!(
-                strict_quarter_pure_count(b),
-                enum_quarter_pure(b),
-                "b̂ = {b}"
-            );
+            assert_eq!(strict_quarter_pure_count(b), enum_quarter_pure(b), "b̂ = {b}");
         }
     }
 
@@ -410,10 +400,7 @@ mod tests {
             for b in 1..=10u32 {
                 let n_out = (d + 2 * b) as f64 * (d + 2 * b) as f64;
                 let bbox = (2.0 * b as f64 + 1.0).powi(2);
-                assert!(
-                    (aq_area_closed_form(d, b) - (n_out - bbox)).abs() < 1e-9,
-                    "d {d} b {b}"
-                );
+                assert!((aq_area_closed_form(d, b) - (n_out - bbox)).abs() < 1e-9, "d {d} b {b}");
             }
         }
     }
@@ -455,10 +442,7 @@ mod tests {
                 if classify_offset(dx, dy, b) == CellClass::Mixed {
                     let s = shrunken_area(dx, dy, b);
                     let e = exact_high_area(dx, dy, b);
-                    assert!(
-                        (s - e).abs() < 0.5,
-                        "b̂ {b} ({dx},{dy}): shrunken {s} vs exact {e}"
-                    );
+                    assert!((s - e).abs() < 0.5, "b̂ {b} ({dx},{dy}): shrunken {s} vs exact {e}");
                 }
             }
         }
@@ -501,10 +485,7 @@ mod tests {
             if b >= 3 {
                 let disk = std::f64::consts::PI * (b * b) as f64;
                 for (name, v) in [("shrunken", s), ("exact", ex)] {
-                    assert!(
-                        (v - disk).abs() / disk < 0.35,
-                        "b̂ {b} {name}: S_H {v} vs disk {disk}"
-                    );
+                    assert!((v - disk).abs() / disk < 0.35, "b̂ {b} {name}: S_H {v} vs disk {disk}");
                 }
             }
         }

@@ -18,6 +18,7 @@
 //! Every kernel is a valid probability distribution over output cells and
 //! satisfies the ε-LDP mass-ratio bound for all input pairs (tested).
 
+use crate::conv::ConvChannel;
 use crate::grid::{DiskGeometry, KernelKind};
 use dam_fo::em::Channel;
 use dam_geo::{CellIndex, Grid2D};
@@ -109,8 +110,7 @@ impl DiscreteKernel {
         // Per-radius cumulative high fractions, shrunken geometry.
         let geos: Vec<DiskGeometry> =
             (1..=b_hat).map(|r| DiskGeometry::new(r, KernelKind::Shrunken)).collect();
-        let rel_density =
-            |j: u32| -> f64 { ((1.0 - (j as f64 - 1.0) / b_hat as f64) * eps).exp() };
+        let rel_density = |j: u32| -> f64 { ((1.0 - (j as f64 - 1.0) / b_hat as f64) * eps).exp() };
         let b = b_hat as i64;
         let mut rel = vec![0.0f64; side * side];
         let mut total_rel = 0.0;
@@ -249,7 +249,18 @@ impl DiscreteKernel {
         self.mass_at_offset(dx, dy)
     }
 
-    /// The full `n_out × n_in` channel matrix for EM post-processing.
+    /// The convolution-structured EM operator: O(b̂²) storage and
+    /// O(n_out·b̂²) work per EM iteration. This is the default
+    /// post-processing path; [`DiscreteKernel::channel`] is the dense
+    /// reference it is tested against.
+    pub fn conv_channel(&self) -> ConvChannel {
+        ConvChannel::new(self)
+    }
+
+    /// The full `n_out × n_in` dense channel matrix — O(n_out·n_in)
+    /// memory and per-EM-iteration work. Kept as the reference
+    /// implementation for equivalence tests and benchmarks; production
+    /// post-processing goes through [`DiscreteKernel::conv_channel`].
     pub fn channel(&self) -> Channel {
         let n_in = (self.d as usize) * (self.d as usize);
         let n_out = self.n_out();
@@ -304,7 +315,8 @@ mod tests {
     #[test]
     fn dam_kernel_normalises() {
         for &(eps, d, b) in &[(1.0, 5, 2), (3.5, 15, 3), (0.7, 4, 4), (9.0, 20, 1)] {
-            for kind in [KernelKind::Shrunken, KernelKind::NonShrunken, KernelKind::ExactIntersection]
+            for kind in
+                [KernelKind::Shrunken, KernelKind::NonShrunken, KernelKind::ExactIntersection]
             {
                 let k = DiscreteKernel::dam(eps, d, b, kind);
                 let m = total_mass(&k);

@@ -153,9 +153,7 @@ mod tests {
         }
         for oy in 0..out_d {
             for ox in 0..out_d {
-                let expect = r
-                    .kernel()
-                    .mass(input, CellIndex::new(ox as u32, oy as u32));
+                let expect = r.kernel().mass(input, CellIndex::new(ox as u32, oy as u32));
                 let got = counts[oy * out_d + ox] / n as f64;
                 assert!(
                     (got - expect).abs() < 6e-3,

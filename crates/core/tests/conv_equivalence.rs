@@ -1,0 +1,191 @@
+//! Property tests: the convolution-structured channel operator
+//! ([`ConvChannel`]) is bit-for-bit interchangeable (≤ 1e-12 per cell)
+//! with the dense reference [`Channel`] on every kernel family — DAM,
+//! DAM-NS, DAM-X and HUEM — including the `b̂ = 0` degenerate
+//! randomized-response kernel, both for the raw EM primitives and for
+//! whole EM fixpoints.
+
+use dam_core::grid::KernelKind;
+use dam_core::kernel::DiscreteKernel;
+use dam_core::ConvChannel;
+use dam_fo::em::{expectation_maximization, ChannelOp, EmParams};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+/// All four SAM kernel families, indexed for strategy generation.
+fn build_kernel(family: usize, eps: f64, d: u32, b_hat: u32) -> DiscreteKernel {
+    match family {
+        0 => DiscreteKernel::dam(eps, d, b_hat, KernelKind::Shrunken),
+        1 => DiscreteKernel::dam(eps, d, b_hat, KernelKind::NonShrunken),
+        2 => DiscreteKernel::dam(eps, d, b_hat, KernelKind::ExactIntersection),
+        _ => DiscreteKernel::huem(eps, d, b_hat),
+    }
+}
+
+fn family_name(family: usize) -> &'static str {
+    ["DAM", "DAM-NS", "DAM-X", "HUEM"][family.min(3)]
+}
+
+/// A strictly positive random distribution over `n` cells.
+fn random_distribution(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let v: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() + 1e-4).collect();
+    let total: f64 = v.iter().sum();
+    v.into_iter().map(|x| x / total).collect()
+}
+
+/// Random nonnegative weights with a sprinkling of exact zeros (EM zeroes
+/// the weight of unobserved outputs, so the adjoint must handle them).
+fn random_weights(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| if rng.gen::<f64>() < 0.2 { 0.0 } else { rng.gen::<f64>() * 3.0 }).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn apply_matches_dense_everywhere(
+        family in 0usize..4,
+        eps in 0.3f64..6.0,
+        d in 2u32..11,
+        b_hat in 0u32..5,
+        seed in 0u64..1_000,
+    ) {
+        let kernel = build_kernel(family, eps, d, b_hat);
+        let dense = kernel.channel();
+        let conv = ConvChannel::new(&kernel);
+        prop_assert_eq!(dense.n_in(), conv.n_in());
+        prop_assert_eq!(dense.n_out(), conv.n_out());
+        let f = random_distribution(conv.n_in(), seed);
+        let mut out_dense = vec![0.0; conv.n_out()];
+        let mut out_conv = vec![0.0; conv.n_out()];
+        dense.apply(&f, &mut out_dense);
+        conv.apply(&f, &mut out_conv);
+        for o in 0..conv.n_out() {
+            prop_assert!(
+                (out_dense[o] - out_conv[o]).abs() <= 1e-12,
+                "{} eps {eps} d {d} b {b_hat} output {o}: dense {} vs conv {}",
+                family_name(family), out_dense[o], out_conv[o]
+            );
+        }
+    }
+
+    #[test]
+    fn adjoint_matches_dense_everywhere(
+        family in 0usize..4,
+        eps in 0.3f64..6.0,
+        d in 2u32..11,
+        b_hat in 0u32..5,
+        seed in 0u64..1_000,
+    ) {
+        let kernel = build_kernel(family, eps, d, b_hat);
+        let dense = kernel.channel();
+        let conv = ConvChannel::new(&kernel);
+        let f = random_distribution(conv.n_in(), seed);
+        let w = random_weights(conv.n_out(), seed ^ 0xADD0);
+        let mut new_dense = vec![0.0; conv.n_in()];
+        let mut new_conv = vec![0.0; conv.n_in()];
+        dense.accumulate_adjoint(&w, &f, &mut new_dense);
+        conv.accumulate_adjoint(&w, &f, &mut new_conv);
+        for i in 0..conv.n_in() {
+            prop_assert!(
+                (new_dense[i] - new_conv[i]).abs() <= 1e-12,
+                "{} eps {eps} d {d} b {b_hat} input {i}: dense {} vs conv {}",
+                family_name(family), new_dense[i], new_conv[i]
+            );
+        }
+    }
+
+    #[test]
+    fn em_fixpoints_match_dense(
+        family in 0usize..4,
+        eps in 0.3f64..5.0,
+        d in 2u32..8,
+        b_hat in 0u32..4,
+        seed in 0u64..1_000,
+    ) {
+        let kernel = build_kernel(family, eps, d, b_hat);
+        let dense = kernel.channel();
+        let conv = ConvChannel::new(&kernel);
+        // Integer counts with zeros, as a real aggregator would hold.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let counts: Vec<f64> =
+            (0..conv.n_out()).map(|_| rng.gen_range(0u32..40) as f64).collect();
+        prop_assume!(counts.iter().sum::<f64>() > 0.0);
+        // Fixed iteration count: both operators must walk the same
+        // trajectory, not merely stop near the same optimum.
+        let params = EmParams { max_iters: 60, rel_tol: 0.0 };
+        let fd = expectation_maximization(&dense, &counts, None, params);
+        let fc = expectation_maximization(&conv, &counts, None, params);
+        for i in 0..conv.n_in() {
+            prop_assert!(
+                (fd[i] - fc[i]).abs() <= 1e-12,
+                "{} eps {eps} d {d} b {b_hat} bin {i}: dense {} vs conv {}",
+                family_name(family), fd[i], fc[i]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_columns_are_stochastic(
+        family in 0usize..4,
+        eps in 0.3f64..6.0,
+        d in 2u32..11,
+        b_hat in 0u32..5,
+    ) {
+        // Applying the operator to a point mass yields that input's full
+        // output distribution; it must sum to 1 for every input cell.
+        let kernel = build_kernel(family, eps, d, b_hat);
+        let conv = ConvChannel::new(&kernel);
+        let n_in = conv.n_in();
+        let mut out = vec![0.0; conv.n_out()];
+        for i in [0, n_in / 2, n_in - 1] {
+            let mut f = vec![0.0; n_in];
+            f[i] = 1.0;
+            conv.apply(&f, &mut out);
+            let total: f64 = out.iter().sum();
+            prop_assert!(
+                (total - 1.0).abs() < 1e-9,
+                "{} eps {eps} d {d} b {b_hat} input {i}: column sums to {total}",
+                family_name(family)
+            );
+            prop_assert!(out.iter().all(|&x| x >= 0.0));
+        }
+    }
+}
+
+/// End-to-end: the default `post_process` (convolution) and the explicit
+/// dense backend agree on a full pipeline histogram.
+#[test]
+fn post_process_backends_agree_end_to_end() {
+    use dam_core::em2d::{post_process, post_process_with, PostProcess};
+    use dam_core::EmBackend;
+    use dam_geo::{BoundingBox, Grid2D};
+
+    for (family, eps, d, b) in
+        [(0usize, 2.0, 6u32, 2u32), (1, 1.0, 5, 3), (2, 3.0, 4, 1), (3, 1.5, 6, 2), (0, 4.0, 5, 0)]
+    {
+        let kernel = build_kernel(family, eps, d, b);
+        let grid = Grid2D::new(BoundingBox::unit(), d);
+        let counts = random_weights(kernel.n_out(), 99)
+            .iter()
+            .map(|x| (x * 50.0).round())
+            .collect::<Vec<_>>();
+        let params = EmParams { max_iters: 40, rel_tol: 0.0 };
+        let conv = post_process(&kernel, &counts, &grid, PostProcess::Em, params);
+        let dense =
+            post_process_with(&kernel, &counts, &grid, PostProcess::Em, params, EmBackend::Dense);
+        for (a, b_val) in conv.values().iter().zip(dense.values()) {
+            assert!((a - b_val).abs() <= 1e-12, "{}: {a} vs {b_val}", family_name(family));
+        }
+        // The EMS flavour must agree too (smoothing happens outside the
+        // operator, but exercises the swap/normalise plumbing).
+        let conv_ems = post_process(&kernel, &counts, &grid, PostProcess::Ems, params);
+        let dense_ems =
+            post_process_with(&kernel, &counts, &grid, PostProcess::Ems, params, EmBackend::Dense);
+        for (a, b_val) in conv_ems.values().iter().zip(dense_ems.values()) {
+            assert!((a - b_val).abs() <= 1e-12, "{} EMS: {a} vs {b_val}", family_name(family));
+        }
+    }
+}

@@ -151,10 +151,7 @@ pub fn load(kind: DatasetKind, seed: u64) -> SpatialDataset {
 /// Builds a single-part dataset whose bbox is the points' square extent.
 fn single_part(name: &'static str, points: Vec<Point>) -> SpatialDataset {
     let bbox = BoundingBox::of_points(&points).expect("non-empty dataset");
-    SpatialDataset {
-        name,
-        parts: vec![DatasetPart { name: "full".to_string(), bbox, points }],
-    }
+    SpatialDataset { name, parts: vec![DatasetPart { name: "full".to_string(), bbox, points }] }
 }
 
 /// Generates the three Table III parts of a city dataset. Each part gets
@@ -174,11 +171,8 @@ fn city_parts(
             // plane (the paper notes the projection does not affect
             // results).
             let bbox = BoundingBox::new(min_lon, min_lat, max_lon, max_lat);
-            let cfg = if chicago {
-                CityConfig::chicago_like(bbox)
-            } else {
-                CityConfig::nyc_like(bbox)
-            };
+            let cfg =
+                if chicago { CityConfig::chicago_like(bbox) } else { CityConfig::nyc_like(bbox) };
             let mut rng = derived(seed, 400 + i as u64 + if chicago { 0 } else { 10 });
             DatasetPart {
                 name: part.to_string(),

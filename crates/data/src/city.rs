@@ -92,7 +92,8 @@ pub fn generate_city(cfg: &CityConfig, n: usize, rng: &mut (impl Rng + ?Sized)) 
     let street_pos = |count: usize, lo: f64, extent: f64, phase: f64| -> Vec<f64> {
         (0..count)
             .map(|i| {
-                let frac = (i as f64 + 0.5 + 0.2 * ((i as f64 * 2.39996 + phase).sin())) / count as f64;
+                let frac =
+                    (i as f64 + 0.5 + 0.2 * ((i as f64 * 2.39996 + phase).sin())) / count as f64;
                 lo + frac * extent
             })
             .collect()
@@ -101,14 +102,10 @@ pub fn generate_city(cfg: &CityConfig, n: usize, rng: &mut (impl Rng + ?Sized)) 
     let cols = street_pos(cfg.streets_v, b.min_x, b.width(), 1.1);
 
     // Street weights decay with centreline distance from downtown.
-    let row_w: Vec<f64> = rows
-        .iter()
-        .map(|&y| (-cfg.decay * (y - cfg.downtown.y).abs() / side).exp())
-        .collect();
-    let col_w: Vec<f64> = cols
-        .iter()
-        .map(|&x| (-cfg.decay * (x - cfg.downtown.x).abs() / side).exp())
-        .collect();
+    let row_w: Vec<f64> =
+        rows.iter().map(|&y| (-cfg.decay * (y - cfg.downtown.y).abs() / side).exp()).collect();
+    let col_w: Vec<f64> =
+        cols.iter().map(|&x| (-cfg.decay * (x - cfg.downtown.x).abs() / side).exp()).collect();
     let row_total: f64 = row_w.iter().sum();
     let col_total: f64 = col_w.iter().sum();
     let hotspot_total: f64 = cfg.hotspots.iter().map(|h| h.2).sum();
@@ -214,10 +211,7 @@ mod tests {
         let near = pts.iter().filter(|p| p.dist(cfg.downtown) < 0.2).count();
         let corner = Point::new(bbox.max_x - 0.1, bbox.min_y + 0.1);
         let far = pts.iter().filter(|p| p.dist(corner) < 0.2).count();
-        assert!(
-            near > 2 * far,
-            "downtown ({near}) not denser than periphery ({far})"
-        );
+        assert!(near > 2 * far, "downtown ({near}) not denser than periphery ({far})");
     }
 
     #[test]

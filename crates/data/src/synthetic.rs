@@ -66,11 +66,7 @@ pub fn szipf_dataset(n: usize, rng: &mut (impl Rng + ?Sized)) -> Vec<Point> {
 pub fn mnormal_dataset(n: usize, rng: &mut (impl Rng + ?Sized)) -> Vec<Point> {
     let per = n / 3;
     let mut out = Vec::with_capacity(n);
-    let components = [
-        ((0.0, 0.0), 0.5),
-        ((2.0, 2.0), 0.0),
-        ((1.0, 1.2), -0.2),
-    ];
+    let components = [((0.0, 0.0), 0.5), ((2.0, 2.0), 0.0), ((1.0, 1.2), -0.2)];
     for (idx, &(mu, rho)) in components.iter().enumerate() {
         let count = if idx == 2 { n - 2 * per } else { per };
         out.extend(normal_2d(count, mu, (1.0, 1.0), rho, 7.0, rng));

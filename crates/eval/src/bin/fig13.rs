@@ -26,8 +26,7 @@ fn sweep(
     let results = run_jobs(ctx, &jobs, None);
     let mut header = vec!["x".to_string()];
     header.extend(mechs.iter().map(|m| m.label()));
-    let mut report =
-        Report::new(title, &header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let mut report = Report::new(title, &header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
     let mut idx = 0;
     for (label, _, _) in xs {
         let mut row = vec![label.clone()];
@@ -48,27 +47,33 @@ fn main() {
     let all = MechSpec::FIGURE9_ALL.to_vec();
     let two = MechSpec::FIGURE9_LARGE.to_vec();
 
-    let small_d: Vec<(String, u32, f64)> = Table4::D_SMALL
-        .iter()
-        .map(|&d| (format!("d={d}"), d, Table4::EPS_DEFAULT))
-        .collect();
+    let small_d: Vec<(String, u32, f64)> =
+        Table4::D_SMALL.iter().map(|&d| (format!("d={d}"), d, Table4::EPS_DEFAULT)).collect();
     sweep(&ctx, &args, "Figure 13(a): Crime full domain, small d", "fig13a", &small_d, &all);
 
-    let large_d: Vec<(String, u32, f64)> = Table4::D_LARGE
-        .iter()
-        .map(|&d| (format!("d={d}"), d, Table4::EPS_LARGE_D))
-        .collect();
+    let large_d: Vec<(String, u32, f64)> =
+        Table4::D_LARGE.iter().map(|&d| (format!("d={d}"), d, Table4::EPS_LARGE_D)).collect();
     sweep(&ctx, &args, "Figure 13(b): Crime full domain, large d", "fig13b", &large_d, &two);
 
-    let small_eps: Vec<(String, u32, f64)> = Table4::EPS_SMALL
-        .iter()
-        .map(|&e| (format!("eps={e}"), 5, e))
-        .collect();
-    sweep(&ctx, &args, "Figure 13(c): Crime full domain, small eps (d=5)", "fig13c", &small_eps, &all);
+    let small_eps: Vec<(String, u32, f64)> =
+        Table4::EPS_SMALL.iter().map(|&e| (format!("eps={e}"), 5, e)).collect();
+    sweep(
+        &ctx,
+        &args,
+        "Figure 13(c): Crime full domain, small eps (d=5)",
+        "fig13c",
+        &small_eps,
+        &all,
+    );
 
-    let large_eps: Vec<(String, u32, f64)> = Table4::EPS_LARGE
-        .iter()
-        .map(|&e| (format!("eps={e}"), Table4::D_DEFAULT, e))
-        .collect();
-    sweep(&ctx, &args, "Figure 13(d): Crime full domain, large eps (d=15)", "fig13d", &large_eps, &two);
+    let large_eps: Vec<(String, u32, f64)> =
+        Table4::EPS_LARGE.iter().map(|&e| (format!("eps={e}"), Table4::D_DEFAULT, e)).collect();
+    sweep(
+        &ctx,
+        &args,
+        "Figure 13(d): Crime full domain, large eps (d=15)",
+        "fig13d",
+        &large_eps,
+        &two,
+    );
 }

@@ -28,8 +28,10 @@ fn main() {
 
     let mut header = vec!["b/b̌".to_string()];
     header.extend(datasets.iter().map(|d| d.label().to_string()));
-    let mut report =
-        Report::new("Figure 8: W2 vs norm distance b (d=15, eps=3.5)", &header.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+    let mut report = Report::new(
+        "Figure 8: W2 vs norm distance b (d=15, eps=3.5)",
+        &header.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+    );
     for (fi, &f) in Table4::B_FACTORS.iter().enumerate() {
         let mut row = vec![format!("{f:.2}")];
         for (di, _) in datasets.iter().enumerate() {

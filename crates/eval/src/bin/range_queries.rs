@@ -33,8 +33,7 @@ fn main() {
     // Fit each engine once.
     let mut rng = derived(ctx.seed, 0x7A4E);
     let dam_est = DamEstimator::new(DamConfig::dam(eps)).estimate(points, &grid, &mut rng);
-    let cfo_est =
-        CfoEstimator::new(eps, CfoFlavor::Oue).estimate(points, &grid, &mut rng);
+    let cfo_est = CfoEstimator::new(eps, CfoFlavor::Oue).estimate(points, &grid, &mut rng);
     let hio = HierarchicalOracle::fit(points, &grid, eps, &mut rng);
 
     let mut report = Report::new(

@@ -28,10 +28,7 @@ fn main() {
         "trajectory length".into(),
         format!("{}..{}", Table5::LEN_RANGE.0, Table5::LEN_RANGE.1),
     ]);
-    report.push_row(vec![
-        "base grid".into(),
-        format!("{0} x {0}", Table5::BASE_GRID),
-    ]);
+    report.push_row(vec!["base grid".into(), format!("{0} x {0}", Table5::BASE_GRID)]);
     println!("{}", report.render());
     let path = report.write_csv(&args.out, "table5").expect("write csv");
     println!("csv: {}", path.display());

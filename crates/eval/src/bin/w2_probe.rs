@@ -16,7 +16,14 @@ fn main() {
         let est = DamEstimator::new(DamConfig::dam(5.0)).estimate(&part.points, &grid, &mut rng);
         for (name, m) in [
             ("exact", WassersteinMethod::Exact),
-            ("sink reg1e-3", WassersteinMethod::Sinkhorn(SinkhornParams{reg_rel:1e-3, max_iters:400, tol:1e-8})),
+            (
+                "sink reg1e-3",
+                WassersteinMethod::Sinkhorn(SinkhornParams {
+                    reg_rel: 1e-3,
+                    max_iters: 400,
+                    tol: 1e-8,
+                }),
+            ),
         ] {
             let t = std::time::Instant::now();
             let v = w2(&est, &truth, m).unwrap();

@@ -18,6 +18,9 @@ pub struct CliArgs {
     pub fast: bool,
     /// Skip the Local-Privacy calibration for SEM-Geo-I.
     pub no_calib: bool,
+    /// Run EM against the dense reference channel instead of the
+    /// convolution operator (A/B comparison; much slower at large d).
+    pub dense_em: bool,
 }
 
 impl Default for CliArgs {
@@ -29,6 +32,7 @@ impl Default for CliArgs {
             out: PathBuf::from("results"),
             fast: false,
             no_calib: false,
+            dense_em: false,
         }
     }
 }
@@ -54,8 +58,10 @@ impl CliArgs {
                 "--out" => out.out = PathBuf::from(value("--out")),
                 "--fast" => out.fast = true,
                 "--no-calib" => out.no_calib = true,
+                "--dense-em" => out.dense_em = true,
                 other => panic!(
-                    "unknown flag {other}; known: --repeats --users --seed --out --fast --no-calib"
+                    "unknown flag {other}; known: --repeats --users --seed --out --fast \
+                     --no-calib --dense-em"
                 ),
             }
         }
@@ -82,6 +88,7 @@ mod tests {
         assert_eq!(a.seed, 42);
         assert!(a.users.is_none());
         assert!(!a.fast);
+        assert!(!a.dense_em);
     }
 
     #[test]
@@ -93,12 +100,13 @@ mod tests {
 
     #[test]
     fn explicit_values() {
-        let a = parse("--repeats 7 --users 1000 --seed 9 --out /tmp/x --no-calib");
+        let a = parse("--repeats 7 --users 1000 --seed 9 --out /tmp/x --no-calib --dense-em");
         assert_eq!(a.repeats, 7);
         assert_eq!(a.users, Some(1000));
         assert_eq!(a.seed, 9);
         assert_eq!(a.out, PathBuf::from("/tmp/x"));
         assert!(a.no_calib);
+        assert!(a.dense_em);
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! measurement protocol of §VII-B.
 
 use crate::cli::CliArgs;
-use dam_core::SpatialEstimator;
+use dam_core::{EmBackend, SpatialEstimator};
 use dam_data::{load, DatasetKind, DatasetPart, SpatialDataset};
 use dam_geo::rng::derived;
 use dam_geo::{Grid2D, Histogram2D};
@@ -30,6 +30,9 @@ pub struct EvalContext {
     pub lp_samples: usize,
     /// Skip LP calibration (use ε as ε′ directly).
     pub no_calib: bool,
+    /// EM operator used by SAM-family mechanisms (convolution unless
+    /// `--dense-em` requests the dense reference path).
+    pub em_backend: EmBackend,
     datasets: Arc<Mutex<HashMap<DatasetKind, Arc<SpatialDataset>>>>,
 }
 
@@ -48,6 +51,7 @@ impl EvalContext {
             sinkhorn: SinkhornParams { reg_rel: 1e-3, max_iters: 400, tol: 1e-8 },
             lp_samples: if args.fast { 400 } else { 1200 },
             no_calib: args.no_calib,
+            em_backend: if args.dense_em { EmBackend::Dense } else { EmBackend::Convolution },
             datasets: Arc::new(Mutex::new(HashMap::new())),
         }
     }
@@ -129,6 +133,7 @@ mod tests {
             out: "results".into(),
             fast: true,
             no_calib: true,
+            dense_em: false,
         };
         EvalContext::from_args(&args)
     }
@@ -147,7 +152,7 @@ mod tests {
         let ds = ctx.dataset(DatasetKind::SZipf);
         let mech = DamEstimator::new(DamConfig::dam(3.5));
         let w = ctx.part_w2(&ds.parts[0], &mech, 4, 1);
-        assert!(w.is_finite() && w >= 0.0 && w < 6.0, "w2 {w}");
+        assert!(w.is_finite() && (0.0..6.0).contains(&w), "w2 {w}");
     }
 
     #[test]

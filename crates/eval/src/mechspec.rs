@@ -59,19 +59,23 @@ impl MechSpec {
         d: u32,
         ctx: &EvalContext,
     ) -> Box<dyn SpatialEstimator + Send + Sync> {
+        // Every SAM-family estimator inherits the context's EM backend
+        // (convolution by default, dense only under `--dense-em`).
+        let sam = |config: DamConfig| {
+            Box::new(DamEstimator::new(DamConfig { backend: ctx.em_backend, ..config }))
+        };
         match self {
-            MechSpec::Dam => Box::new(DamEstimator::new(DamConfig::dam(eps))),
+            MechSpec::Dam => sam(DamConfig::dam(eps)),
             MechSpec::DamWithBFactor(f) => {
                 let b_opt = dam_core::radius::optimal_b_cells(eps, d);
                 let b = ((b_opt as f64 * f).round() as u32).max(1);
-                Box::new(DamEstimator::new(DamConfig { b_hat: Some(b), ..DamConfig::dam(eps) }))
+                sam(DamConfig { b_hat: Some(b), ..DamConfig::dam(eps) })
             }
-            MechSpec::DamNs => Box::new(DamEstimator::new(DamConfig::dam_ns(eps))),
-            MechSpec::DamExact => Box::new(DamEstimator::new(DamConfig {
-                variant: SamVariant::DamExact,
-                ..DamConfig::dam(eps)
-            })),
-            MechSpec::Huem => Box::new(DamEstimator::new(DamConfig::huem(eps))),
+            MechSpec::DamNs => sam(DamConfig::dam_ns(eps)),
+            MechSpec::DamExact => {
+                sam(DamConfig { variant: SamVariant::DamExact, ..DamConfig::dam(eps) })
+            }
+            MechSpec::Huem => sam(DamConfig::huem(eps)),
             MechSpec::Mdsw => Box::new(Mdsw::new(eps)),
             MechSpec::Sem => Box::new(SemGeoI::new(sem_epsilon(eps, d, ctx))),
             MechSpec::CfoGrr => Box::new(CfoEstimator::new(eps, CfoFlavor::Grr)),
@@ -97,12 +101,8 @@ pub fn sem_epsilon(eps: f64, d: u32, ctx: &EvalContext) -> f64 {
         return v;
     }
     let b = dam_core::radius::optimal_b_cells(eps, d);
-    let kernel = dam_core::kernel::DiscreteKernel::dam(
-        eps,
-        d,
-        b,
-        dam_core::grid::KernelKind::Shrunken,
-    );
+    let kernel =
+        dam_core::kernel::DiscreteKernel::dam(eps, d, b, dam_core::grid::KernelKind::Shrunken);
     let target = lp_dam(&kernel);
     let mut rng = derived(ctx.seed, 0xCA11_B000 + d as u64);
     let eps_sem = calibrate_sem_epsilon(target, d, ctx.lp_samples, &mut rng);

@@ -61,11 +61,8 @@ pub fn run_jobs(ctx: &EvalContext, jobs: &[Job], threads: Option<usize>) -> Vec<
                 let mech = job.mech.build(job.eps, job.d, ctx);
                 let stream = splitmix64(i as u64 + 0x0B5E_55ED);
                 let w2 = ctx.dataset_w2(job.dataset, mech.as_ref(), job.d, stream);
-                *results[i].lock() = Some(JobResult {
-                    job: job.clone(),
-                    w2,
-                    secs: start.elapsed().as_secs_f64(),
-                });
+                *results[i].lock() =
+                    Some(JobResult { job: job.clone(), w2, secs: start.elapsed().as_secs_f64() });
                 eprintln!(
                     "  [{}/{}] {:<12} {:<10} d={:<3} eps={:<4} -> W2 = {:.4}  ({:.1}s)",
                     i + 1,
@@ -82,10 +79,7 @@ pub fn run_jobs(ctx: &EvalContext, jobs: &[Job], threads: Option<usize>) -> Vec<
     })
     .expect("worker thread panicked");
 
-    results
-        .into_iter()
-        .map(|m| m.into_inner().expect("job not completed"))
-        .collect()
+    results.into_iter().map(|m| m.into_inner().expect("job not completed")).collect()
 }
 
 #[cfg(test)]

@@ -120,7 +120,7 @@ mod tests {
     fn uniform_weights() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(52);
         let t = AliasTable::new(&[1.0; 7]);
-        let mut seen = vec![false; 7];
+        let mut seen = [false; 7];
         for _ in 0..10_000 {
             seen[t.sample(&mut rng)] = true;
         }

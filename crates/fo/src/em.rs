@@ -6,9 +6,54 @@
 //! ("EMS") that regularises the estimate towards ordinal smoothness; the
 //! paper's PostProcess uses the same machinery on the 2-D grid (the 2-D
 //! smoother lives in `dam-core`).
+//!
+//! # Operator-based EM
+//!
+//! [`expectation_maximization`] never touches matrix entries directly: it
+//! is generic over [`ChannelOp`], which exposes the only two primitives EM
+//! needs —
+//!
+//! * `apply` — the E-step product `M·f` (predicted output distribution);
+//! * `accumulate_adjoint` — the M-step update `f ⊙ Mᵀw` for a weight
+//!   vector `w` derived from the observed counts.
+//!
+//! The dense [`Channel`] is the reference implementation (O(n_out·n_in)
+//! per iteration). Structured channels — notably the translation-invariant
+//! `ConvChannel` in `dam-core`, O(n_out·b̂²) per iteration — implement the
+//! same trait and drop straight into every EM call site, so the estimator
+//! pipeline never materialises an `n_out × n_in` matrix.
+
+/// The two linear-algebra primitives EM needs from a reporting channel.
+///
+/// Implementations must behave like a column-stochastic matrix `M` of
+/// shape `n_out × n_in` (`Σ_o M[o,i] = 1` for every `i`), but are free to
+/// represent it implicitly.
+pub trait ChannelOp {
+    /// Number of input symbols.
+    fn n_in(&self) -> usize;
+
+    /// Number of output symbols.
+    fn n_out(&self) -> usize;
+
+    /// E-step product: `out[o] = Σ_i M[o,i]·f[i]`.
+    ///
+    /// `f.len()` must be `n_in()`, `out.len()` must be `n_out()`.
+    fn apply(&self, f: &[f64], out: &mut [f64]);
+
+    /// M-step update: `f_new[i] = f[i] · Σ_o w[o]·M[o,i]`.
+    ///
+    /// `w.len()` must be `n_out()`; `f.len()` and `f_new.len()` must be
+    /// `n_in()`. Entries of `w` may be zero (outputs with no observations
+    /// contribute nothing).
+    fn accumulate_adjoint(&self, w: &[f64], f: &[f64], f_new: &mut [f64]);
+}
 
 /// Dense channel matrix: `n_out × n_in`, column-stochastic
 /// (`Σ_o at(o, i) = 1` for every input `i`).
+///
+/// This is the *reference* [`ChannelOp`]: exact but quadratic. Prefer a
+/// structured operator (e.g. `dam-core`'s `ConvChannel`) whenever the
+/// channel has exploitable structure.
 #[derive(Debug, Clone)]
 pub struct Channel {
     /// Number of output symbols.
@@ -20,24 +65,72 @@ pub struct Channel {
 }
 
 impl Channel {
-    /// Builds a channel from row-major values, checking shape and
-    /// column-stochasticity.
+    /// Builds a channel from row-major values, checking the shape.
+    ///
+    /// Column-stochasticity is verified only in debug builds (the scan is
+    /// O(n_out·n_in), which would double the cost of constructing large
+    /// dense channels in release mode); call [`Channel::validate`] to
+    /// check it explicitly.
     pub fn new(n_out: usize, n_in: usize, data: Vec<f64>) -> Self {
         assert_eq!(data.len(), n_out * n_in, "channel data does not match shape");
-        for i in 0..n_in {
-            let col: f64 = (0..n_out).map(|o| data[o * n_in + i]).sum();
-            assert!(
-                (col - 1.0).abs() < 1e-6,
-                "channel column {i} sums to {col}, expected 1"
-            );
+        let channel = Self { n_out, n_in, data };
+        #[cfg(debug_assertions)]
+        channel.validate();
+        channel
+    }
+
+    /// Panics unless every column sums to 1 (within 1e-6). O(n_out·n_in).
+    pub fn validate(&self) {
+        for i in 0..self.n_in {
+            let col: f64 = (0..self.n_out).map(|o| self.data[o * self.n_in + i]).sum();
+            assert!((col - 1.0).abs() < 1e-6, "channel column {i} sums to {col}, expected 1");
         }
-        Self { n_out, n_in, data }
     }
 
     /// `P(output o | input i)`.
     #[inline]
     pub fn at(&self, o: usize, i: usize) -> f64 {
         self.data[o * self.n_in + i]
+    }
+}
+
+impl ChannelOp for Channel {
+    #[inline]
+    fn n_in(&self) -> usize {
+        self.n_in
+    }
+
+    #[inline]
+    fn n_out(&self) -> usize {
+        self.n_out
+    }
+
+    fn apply(&self, f: &[f64], out: &mut [f64]) {
+        debug_assert_eq!(f.len(), self.n_in);
+        debug_assert_eq!(out.len(), self.n_out);
+        for (o, out_o) in out.iter_mut().enumerate() {
+            let row = &self.data[o * self.n_in..(o + 1) * self.n_in];
+            *out_o = row.iter().zip(f).map(|(&m, &x)| m * x).sum();
+        }
+    }
+
+    fn accumulate_adjoint(&self, w: &[f64], f: &[f64], f_new: &mut [f64]) {
+        debug_assert_eq!(w.len(), self.n_out);
+        debug_assert_eq!(f.len(), self.n_in);
+        debug_assert_eq!(f_new.len(), self.n_in);
+        f_new.fill(0.0);
+        for (o, &wo) in w.iter().enumerate() {
+            if wo == 0.0 {
+                continue;
+            }
+            let row = &self.data[o * self.n_in..(o + 1) * self.n_in];
+            for (acc, &m) in f_new.iter_mut().zip(row) {
+                *acc += wo * m;
+            }
+        }
+        for (acc, &fi) in f_new.iter_mut().zip(f) {
+            *acc *= fi;
+        }
     }
 }
 
@@ -61,54 +154,45 @@ impl Default for EmParams {
 ///
 /// `counts[o]` is how many users reported output `o`. `smoother`, when
 /// provided, is applied to the estimate after each M-step (it may leave the
-/// vector un-normalised; EM renormalises).
-pub fn expectation_maximization(
-    channel: &Channel,
+/// vector un-normalised; EM renormalises). The channel may be any
+/// [`ChannelOp`] — dense or structured.
+pub fn expectation_maximization<C: ChannelOp + ?Sized>(
+    channel: &C,
     counts: &[f64],
     smoother: Option<&dyn Fn(&mut [f64])>,
     params: EmParams,
 ) -> Vec<f64> {
-    assert_eq!(counts.len(), channel.n_out, "counts do not match channel outputs");
+    assert_eq!(counts.len(), channel.n_out(), "counts do not match channel outputs");
     let n_total: f64 = counts.iter().sum();
     assert!(n_total > 0.0, "no observations");
-    let (n_out, n_in) = (channel.n_out, channel.n_in);
+    let (n_out, n_in) = (channel.n_out(), channel.n_in());
 
     let mut f = vec![1.0 / n_in as f64; n_in];
+    let mut f_new = vec![0.0f64; n_in];
     let mut out = vec![0.0f64; n_out];
+    let mut weights = vec![0.0f64; n_out];
     let mut prev_ll = f64::NEG_INFINITY;
 
     for _ in 0..params.max_iters {
         // E: predicted output distribution under the current estimate.
-        for o in 0..n_out {
-            let mut s = 0.0;
-            for i in 0..n_in {
-                s += channel.at(o, i) * f[i];
-            }
-            out[o] = s;
+        channel.apply(&f, &mut out);
+        // M: multiplicative update through the adjoint.
+        for ((w, &c), &p) in weights.iter_mut().zip(counts).zip(out.iter()) {
+            *w = if c == 0.0 || p <= 0.0 { 0.0 } else { c / n_total / p };
         }
-        // M: multiplicative update.
-        let mut f_new = vec![0.0f64; n_in];
-        for o in 0..n_out {
-            if counts[o] == 0.0 || out[o] <= 0.0 {
-                continue;
-            }
-            let w = counts[o] / n_total / out[o];
-            for i in 0..n_in {
-                f_new[i] += w * channel.at(o, i) * f[i];
-            }
-        }
+        channel.accumulate_adjoint(&weights, &f, &mut f_new);
         normalize(&mut f_new);
         if let Some(s) = smoother {
             s(&mut f_new);
             normalize(&mut f_new);
         }
-        f = f_new;
+        std::mem::swap(&mut f, &mut f_new);
 
         // Convergence on observed-data log-likelihood.
         let mut ll = 0.0;
-        for o in 0..n_out {
-            if counts[o] > 0.0 {
-                ll += counts[o] * out[o].max(1e-300).ln();
+        for (&c, &p) in counts.iter().zip(out.iter()) {
+            if c > 0.0 {
+                ll += c * p.max(1e-300).ln();
             }
         }
         if prev_ll.is_finite() {
@@ -194,7 +278,12 @@ mod tests {
                 counts[o] += 1e6 * ch.at(o, i) * input[i];
             }
         }
-        let f = expectation_maximization(&ch, &counts, None, EmParams { max_iters: 5000, rel_tol: 1e-12 });
+        let f = expectation_maximization(
+            &ch,
+            &counts,
+            None,
+            EmParams { max_iters: 5000, rel_tol: 1e-12 },
+        );
         for i in 0..3 {
             assert!((f[i] - input[i]).abs() < 1e-3, "bin {i}: {} vs {}", f[i], input[i]);
         }
@@ -207,6 +296,42 @@ mod tests {
         let f = expectation_maximization(&ch, &counts, None, EmParams::default());
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(f.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn apply_matches_manual_matvec() {
+        let ch = noisy_channel(4, 0.7);
+        let f = [0.4, 0.3, 0.2, 0.1];
+        let mut out = vec![0.0; 4];
+        ch.apply(&f, &mut out);
+        for o in 0..4 {
+            let manual: f64 = (0..4).map(|i| ch.at(o, i) * f[i]).sum();
+            assert!((out[o] - manual).abs() < 1e-15);
+        }
+        // A stochastic matrix maps distributions to distributions.
+        assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjoint_matches_manual_update() {
+        let ch = noisy_channel(3, 0.6);
+        let f = [0.5, 0.3, 0.2];
+        let w = [0.7, 0.0, 1.3];
+        let mut f_new = vec![0.0; 3];
+        ch.accumulate_adjoint(&w, &f, &mut f_new);
+        for i in 0..3 {
+            let manual: f64 = (0..3).map(|o| w[o] * ch.at(o, i)).sum::<f64>() * f[i];
+            assert!((f_new[i] - manual).abs() < 1e-15, "bin {i}");
+        }
+    }
+
+    #[test]
+    fn em_accepts_dyn_channel_op() {
+        let ch = noisy_channel(3, 0.8);
+        let dyn_ch: &dyn ChannelOp = &ch;
+        let counts = [50.0, 30.0, 20.0];
+        let f = expectation_maximization(dyn_ch, &counts, None, EmParams::default());
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
     #[test]
@@ -229,7 +354,15 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "column")]
-    fn channel_rejects_non_stochastic() {
+    fn validate_rejects_non_stochastic() {
+        let ch = Channel { n_out: 2, n_in: 2, data: vec![0.5, 0.5, 0.2, 0.5] };
+        ch.validate();
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "column")]
+    fn channel_rejects_non_stochastic_in_debug() {
         Channel::new(2, 2, vec![0.5, 0.5, 0.2, 0.5]);
     }
 }

@@ -78,10 +78,7 @@ impl Grr {
         assert_eq!(counts.len(), self.k, "count vector does not match k");
         let n: usize = counts.iter().sum();
         assert!(n > 0, "no reports to estimate from");
-        counts
-            .iter()
-            .map(|&c| (c as f64 / n as f64 - self.q) / (self.p - self.q))
-            .collect()
+        counts.iter().map(|&c| (c as f64 / n as f64 - self.q) / (self.p - self.q)).collect()
     }
 }
 
@@ -143,8 +140,8 @@ mod tests {
         let eps = 1.0;
         let g = Grr::new(3, eps);
         let n = 120_000;
-        let mut c0 = vec![0.0; 3];
-        let mut c1 = vec![0.0; 3];
+        let mut c0 = [0.0; 3];
+        let mut c1 = [0.0; 3];
         for _ in 0..n {
             c0[g.perturb(0, &mut rng)] += 1.0;
             c1[g.perturb(1, &mut rng)] += 1.0;

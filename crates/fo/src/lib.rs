@@ -11,8 +11,12 @@
 //! * [`sw`] — the Square Wave mechanism of Li et al. \[6\], the 1-D ancestor
 //!   of the paper's Disk Area Mechanism, with an exactly-integrated
 //!   discrete transition matrix;
-//! * [`em`] — Expectation-Maximisation estimation with optional smoothing
-//!   (the "EMS" of SW-EMS, also used by the paper's PostProcess step);
+//! * [`em`] — operator-based Expectation-Maximisation with optional
+//!   smoothing (the "EMS" of SW-EMS, also used by the paper's PostProcess
+//!   step): EM is generic over the [`em::ChannelOp`] trait (`apply` +
+//!   `accumulate_adjoint`), with the dense [`em::Channel`] as reference
+//!   implementation and structured operators (e.g. `dam-core`'s
+//!   `ConvChannel`) as the fast path;
 //! * [`sr`] — Stochastic Rounding (Duchi et al. \[4\], mean estimation);
 //! * [`pm`] — the Piecewise Mechanism (Wang et al. \[5\], mean estimation).
 
@@ -24,7 +28,7 @@ pub mod pm;
 pub mod sr;
 pub mod sw;
 
-pub use em::{expectation_maximization, EmParams};
+pub use em::{expectation_maximization, Channel, ChannelOp, EmParams};
 pub use grr::Grr;
 pub use oue::Oue;
 pub use sw::SquareWave;

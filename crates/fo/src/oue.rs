@@ -76,10 +76,7 @@ impl Oue {
     pub fn estimate(&self, support: &[f64], n: usize) -> Vec<f64> {
         assert_eq!(support.len(), self.k, "support vector does not match k");
         assert!(n > 0, "no reports to estimate from");
-        support
-            .iter()
-            .map(|&c| (c / n as f64 - self.q) / (P_TRUE - self.q))
-            .collect()
+        support.iter().map(|&c| (c / n as f64 - self.q) / (P_TRUE - self.q)).collect()
     }
 }
 

@@ -74,7 +74,7 @@ mod tests {
         let eps = 1.3;
         let sr = StochasticRounding::new(eps);
         let p1 = 0.5 + sr.coeff * 1.0;
-        let p2 = 0.5 + sr.coeff * -1.0;
+        let p2 = 0.5 + -sr.coeff;
         assert!((p1 / p2 - eps.exp()).abs() < 1e-9);
     }
 

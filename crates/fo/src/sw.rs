@@ -240,11 +240,7 @@ mod tests {
                 for i2 in 0..8 {
                     let (a, b) = (m.at(o, i1), m.at(o, i2));
                     if b > 1e-15 {
-                        assert!(
-                            a / b <= e + 1e-9,
-                            "ratio {} at out {o}, inputs {i1},{i2}",
-                            a / b
-                        );
+                        assert!(a / b <= e + 1e-9, "ratio {} at out {o}, inputs {i1},{i2}", a / b);
                     }
                 }
             }

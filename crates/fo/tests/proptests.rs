@@ -120,7 +120,7 @@ proptest! {
             }
             acc
         };
-        let mut prev = ll(&vec![0.25; 4]);
+        let mut prev = ll(&[0.25; 4]);
         for iters in [1usize, 2, 4, 8, 16] {
             let f = expectation_maximization(
                 &ch,

@@ -185,9 +185,6 @@ mod tests {
             }
         }
         let mc = hits as f64 / n as f64 * rect.area();
-        assert!(
-            (exact - mc).abs() < 5e-3,
-            "exact {exact} vs monte-carlo {mc}"
-        );
+        assert!((exact - mc).abs() < 5e-3, "exact {exact} vs monte-carlo {mc}");
     }
 }

@@ -147,12 +147,7 @@ impl Histogram2D {
     /// headline metric, W₂, lives in `dam-transport`).
     pub fn tv_distance(&self, other: &Histogram2D) -> f64 {
         assert_eq!(self.values.len(), other.values.len(), "histogram size mismatch");
-        0.5 * self
-            .values
-            .iter()
-            .zip(&other.values)
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f64>()
+        0.5 * self.values.iter().zip(&other.values).map(|(a, b)| (a - b).abs()).sum::<f64>()
     }
 }
 
@@ -167,11 +162,7 @@ mod tests {
 
     #[test]
     fn counts_points() {
-        let pts = vec![
-            Point::new(0.1, 0.1),
-            Point::new(0.1, 0.2),
-            Point::new(0.9, 0.9),
-        ];
+        let pts = vec![Point::new(0.1, 0.1), Point::new(0.1, 0.2), Point::new(0.9, 0.9)];
         let h = Histogram2D::from_points(grid(2), &pts);
         assert_eq!(h.get(CellIndex::new(0, 0)), 2.0);
         assert_eq!(h.get(CellIndex::new(1, 1)), 1.0);

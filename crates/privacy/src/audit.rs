@@ -146,8 +146,7 @@ mod tests {
         let sem = SemGeoI::new(eps).with_k(2);
         let grid = Grid2D::new(BoundingBox::unit(), 2);
         let centers = SemGeoI::cell_centers(&grid);
-        let subsets: Vec<(usize, usize)> =
-            vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
+        let subsets: Vec<(usize, usize)> = vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)];
         // Exact channel: P(S|v) = w_a(v) w_b(v) / e_2(w(v)).
         let channel: Vec<Vec<f64>> = (0..4)
             .map(|v| {

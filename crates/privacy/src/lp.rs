@@ -225,10 +225,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(140);
         let lp_low = lp_sem_monte_carlo(0.5, 4, 1200, &mut rng);
         let lp_high = lp_sem_monte_carlo(6.0, 4, 1200, &mut rng);
-        assert!(
-            lp_low > lp_high,
-            "LP must decrease with budget: {lp_low} vs {lp_high}"
-        );
+        assert!(lp_low > lp_high, "LP must decrease with budget: {lp_low} vs {lp_high}");
     }
 
     #[test]

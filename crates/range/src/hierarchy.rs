@@ -42,12 +42,7 @@ impl HierarchicalOracle {
     /// Levels are powers of two from 2×2 up to the finest power of two not
     /// exceeding `grid.d()` (a 1×1 level carries no information and is
     /// skipped).
-    pub fn fit(
-        points: &[Point],
-        grid: &Grid2D,
-        eps: f64,
-        rng: &mut (impl Rng + ?Sized),
-    ) -> Self {
+    pub fn fit(points: &[Point], grid: &Grid2D, eps: f64, rng: &mut (impl Rng + ?Sized)) -> Self {
         assert!(!points.is_empty(), "cannot fit on zero points");
         assert!(eps > 0.0 && eps.is_finite(), "privacy budget must be positive");
         let d = grid.d();
@@ -102,11 +97,7 @@ impl HierarchicalOracle {
                 } else {
                     vec![1.0 / (side * side) as f64; (side * side) as usize]
                 };
-                Level {
-                    side,
-                    cells_per_node: grid.d().div_ceil(side),
-                    estimate: est,
-                }
+                Level { side, cells_per_node: grid.d().div_ceil(side), estimate: est }
             })
             .collect();
         Self { d, levels }
@@ -154,12 +145,8 @@ impl HierarchicalOracle {
                 } else if level + 1 < self.levels.len() {
                     // Refine the fringe node at the next level, restricted
                     // to the overlap.
-                    let sub = RangeQuery::new(
-                        q.x0.max(cx0),
-                        q.y0.max(cy0),
-                        q.x1.min(cx1),
-                        q.y1.min(cy1),
-                    );
+                    let sub =
+                        RangeQuery::new(q.x0.max(cx0), q.y0.max(cy0), q.x1.min(cx1), q.y1.min(cy1));
                     acc += self.answer_partial(&sub, level + 1, nx, ny);
                 } else {
                     // Leaf level: apportion by covered area fraction
@@ -195,13 +182,7 @@ mod tests {
 
     fn clustered_points(n: usize) -> Vec<Point> {
         (0..n)
-            .map(|i| {
-                if i % 4 == 0 {
-                    Point::new(0.1, 0.1)
-                } else {
-                    Point::new(0.8, 0.8)
-                }
-            })
+            .map(|i| if i % 4 == 0 { Point::new(0.1, 0.1) } else { Point::new(0.8, 0.8) })
             .collect()
     }
 

@@ -109,10 +109,7 @@ impl TrajectoryMechanism for LdpTrace {
         for t in trajs {
             let start = grid.cell_of(t.points[0]);
             start_fo.accumulate(&start_fo.perturb(grid.flat(start), rng), &mut start_support);
-            len_fo.accumulate(
-                &len_fo.perturb(Self::len_bucket(t.len()), rng),
-                &mut len_support,
-            );
+            len_fo.accumulate(&len_fo.perturb(Self::len_bucket(t.len()), rng), &mut len_support);
             // One uniformly sampled adjacent transition per user.
             if t.len() >= 2 {
                 let i = rng.gen_range(0..t.len() - 1);
@@ -191,10 +188,7 @@ impl TrajectoryMechanism for LdpTrace {
                     t -= wk;
                 }
                 let (dx, dy) = DIRS[pick];
-                cell = CellIndex::new(
-                    (cell.ix as i64 + dx) as u32,
-                    (cell.iy as i64 + dy) as u32,
-                );
+                cell = CellIndex::new((cell.ix as i64 + dx) as u32, (cell.iy as i64 + dy) as u32);
                 hist.add_cell(cell);
             }
         }
@@ -243,9 +237,7 @@ mod tests {
         // must put most mass near that corner.
         let mut rng = rand::rngs::StdRng::seed_from_u64(192);
         let trajs: Vec<Trajectory> = (0..400)
-            .map(|_| Trajectory {
-                points: (0..10).map(|_| Point::new(0.05, 0.05)).collect(),
-            })
+            .map(|_| Trajectory { points: (0..10).map(|_| Point::new(0.05, 0.05)).collect() })
             .collect();
         let grid = Grid2D::new(BoundingBox::unit(), 4);
         let est = LdpTrace::new(4.0).estimate_distribution(&trajs, &grid, &mut rng);

@@ -14,9 +14,9 @@
 use crate::mechanism::TrajectoryMechanism;
 use crate::traj::Trajectory;
 use dam_fo::alias::AliasTable;
-use dam_geo::{CellIndex, Grid2D, Histogram2D};
 #[cfg(test)]
 use dam_geo::Point;
+use dam_geo::{CellIndex, Grid2D, Histogram2D};
 use rand::RngCore;
 
 /// The PivotTrace estimator.
@@ -172,10 +172,7 @@ mod tests {
         let z2: f64 = grid.cells().map(|c| w(v2, c)).sum();
         for c in grid.cells() {
             let ratio = (w(v1, c) / z1) / (w(v2, c) / z2);
-            assert!(
-                ratio <= eps_p.exp() * (1.0 + 1e-9),
-                "cell {c:?}: ratio {ratio}"
-            );
+            assert!(ratio <= eps_p.exp() * (1.0 + 1e-9), "cell {c:?}: ratio {ratio}");
         }
     }
 

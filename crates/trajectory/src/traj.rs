@@ -123,9 +123,8 @@ mod tests {
 
     fn base() -> (Vec<Point>, Grid2D) {
         let mut rng = rand::rngs::StdRng::seed_from_u64(170);
-        let pts: Vec<Point> = (0..5_000)
-            .map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>()))
-            .collect();
+        let pts: Vec<Point> =
+            (0..5_000).map(|_| Point::new(rng.gen::<f64>(), rng.gen::<f64>())).collect();
         (pts, Grid2D::new(BoundingBox::unit(), 30))
     }
 

@@ -69,7 +69,11 @@ struct Basic {
 /// equal totals; both sides are rescaled to sum to 1 internally and the
 /// reported cost is for the rescaled problem — i.e. for probability
 /// distributions, which is what every caller in this workspace passes.
-pub fn solve_exact(a: &[f64], b: &[f64], cost: &CostMatrix) -> Result<TransportPlan, TransportError> {
+pub fn solve_exact(
+    a: &[f64],
+    b: &[f64],
+    cost: &CostMatrix,
+) -> Result<TransportPlan, TransportError> {
     assert_eq!(a.len(), cost.rows(), "source mass length mismatch");
     assert_eq!(b.len(), cost.cols(), "target mass length mismatch");
     let sa: f64 = a.iter().sum();
@@ -371,8 +375,8 @@ mod tests {
         }
         let c = CostMatrix::euclidean_pow(&pts_a, &pts_b, 2);
         let plan = solve_exact(&a, &b, &c).unwrap();
-        let mut row_sum = vec![0.0; 16];
-        let mut col_sum = vec![0.0; 16];
+        let mut row_sum = [0.0; 16];
+        let mut col_sum = [0.0; 16];
         for &(i, j, f) in &plan.flows {
             assert!(f >= 0.0);
             row_sum[i] += f;

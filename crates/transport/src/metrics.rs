@@ -62,11 +62,7 @@ pub fn w2(
     b: &Histogram2D,
     method: WassersteinMethod,
 ) -> Result<f64, TransportError> {
-    assert_eq!(
-        a.grid().d(),
-        b.grid().d(),
-        "cell-unit W2 requires grids of the same resolution"
-    );
+    assert_eq!(a.grid().d(), b.grid().d(), "cell-unit W2 requires grids of the same resolution");
     let (pa, wa) = cell_unit_support(a);
     let (pb, wb) = cell_unit_support(b);
     if pa.is_empty() || pb.is_empty() {

@@ -32,8 +32,8 @@ proptest! {
         let cost = CostMatrix::euclidean_pow(&pa, &pb, 2);
         let plan = solve_exact(&a, &b, &cost).unwrap();
         prop_assert!(plan.cost >= -1e-12);
-        let mut rows = vec![0.0; 7];
-        let mut cols = vec![0.0; 7];
+        let mut rows = [0.0; 7];
+        let mut cols = [0.0; 7];
         for &(i, j, f) in &plan.flows {
             prop_assert!(f >= 0.0);
             rows[i] += f;

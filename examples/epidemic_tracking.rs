@@ -27,17 +27,13 @@ fn main() {
     let truth = Histogram2D::from_points(grid.clone(), &cases).normalized();
 
     println!("{} simulated case locations, three outbreak foci, grid {d}x{d}\n", cases.len());
-    println!(
-        "{:<8} {:>10} {:>10} {:>10}",
-        "eps", "DAM", "CFO-GRR", "DAM gain"
-    );
+    println!("{:<8} {:>10} {:>10} {:>10}", "eps", "DAM", "CFO-GRR", "DAM gain");
 
     for (i, &eps) in [0.7, 1.4, 2.8, 5.0].iter().enumerate() {
         let mut rng_a = derived(33, i as u64);
         let mut rng_b = derived(34, i as u64);
         let dam = DamEstimator::new(DamConfig::dam(eps)).estimate(&cases, &grid, &mut rng_a);
-        let cfo =
-            CfoEstimator::new(eps, CfoFlavor::Grr).estimate(&cases, &grid, &mut rng_b);
+        let cfo = CfoEstimator::new(eps, CfoFlavor::Grr).estimate(&cases, &grid, &mut rng_b);
         let w_dam = w2_auto(&dam, &truth).expect("w2");
         let w_cfo = w2_auto(&cfo, &truth).expect("w2");
         println!(

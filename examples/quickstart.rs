@@ -53,7 +53,9 @@ fn main() {
     for h in [&truth, &estimate] {
         for iy in (0..d).rev() {
             let row: Vec<String> = (0..d)
-                .map(|ix| format!("{:>5.2}", 100.0 * h.get(spatial_ldp::geo::CellIndex::new(ix, iy))))
+                .map(|ix| {
+                    format!("{:>5.2}", 100.0 * h.get(spatial_ldp::geo::CellIndex::new(ix, iy)))
+                })
                 .collect();
             println!("  {}", row.join(" "));
         }

@@ -21,19 +21,13 @@ fn main() {
     let nyc = load(DatasetKind::Nyc, 9);
     let part = &nyc.parts[1];
     let grid = Grid2D::new(part.bbox, d);
-    println!(
-        "{} pickups, grid {d}x{d}, eps = {eps}: district-count queries\n",
-        part.points.len()
-    );
+    println!("{} pickups, grid {d}x{d}, eps = {eps}: district-count queries\n", part.points.len());
 
     let mut rng = derived(71, 0);
     let dam_est = DamEstimator::new(DamConfig::dam(eps)).estimate(&part.points, &grid, &mut rng);
     let hio = HierarchicalOracle::fit(&part.points, &grid, eps, &mut rng);
 
-    println!(
-        "{:<12} {:>9} {:>12} {:>12}",
-        "selectivity", "queries", "DAM+sum MAE", "HIO MAE"
-    );
+    println!("{:<12} {:>9} {:>12} {:>12}", "selectivity", "queries", "DAM+sum MAE", "HIO MAE");
     let mut wl_rng = seeded(72);
     for sel in [0.125, 0.25, 0.5] {
         let queries = random_queries(d, 150, sel, &mut wl_rng);

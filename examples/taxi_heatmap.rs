@@ -86,11 +86,7 @@ fn main() {
         cell.iy,
         center.x,
         center.y,
-        1 + truth
-            .values()
-            .iter()
-            .filter(|&&v| v > truth.values()[busiest])
-            .count()
+        1 + truth.values().iter().filter(|&&v| v > truth.values()[busiest]).count()
     );
     let _ = seeded(0); // keep the rng helpers exercised in docs builds
 }

@@ -46,12 +46,7 @@ fn main() {
         let start = std::time::Instant::now();
         let est = mech.estimate_distribution(&trips, &grid, &mut rng);
         let err = w2_auto(&est, &truth).expect("w2");
-        println!(
-            "{:<12} {:>10.4} {:>10.2}",
-            mech.name(),
-            err,
-            start.elapsed().as_secs_f64()
-        );
+        println!("{:<12} {:>10.4} {:>10.2}", mech.name(), err, start.elapsed().as_secs_f64());
     }
 
     println!(

@@ -48,10 +48,7 @@ fn dam_beats_mdsw_on_correlated_data() {
         let mdsw = Mdsw::new(eps).estimate(&points, &grid, &mut r2);
         let w_dam = w2_exact(&dam, &truth).unwrap();
         let w_mdsw = w2_exact(&mdsw, &truth).unwrap();
-        assert!(
-            w_dam < w_mdsw,
-            "eps {eps}: DAM ({w_dam}) must beat MDSW ({w_mdsw})"
-        );
+        assert!(w_dam < w_mdsw, "eps {eps}: DAM ({w_dam}) must beat MDSW ({w_mdsw})");
     }
 }
 
@@ -89,12 +86,7 @@ fn error_decreases_with_population() {
         let est = DamEstimator::new(DamConfig::dam(eps)).estimate(subset, &grid, &mut r);
         errs.push(w2_exact(&est, &truth).unwrap());
     }
-    assert!(
-        errs[1] < errs[0],
-        "120k users ({}) must beat 3k users ({})",
-        errs[1],
-        errs[0]
-    );
+    assert!(errs[1] < errs[0], "120k users ({}) must beat 3k users ({})", errs[1], errs[0]);
 }
 
 #[test]

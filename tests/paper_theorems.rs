@@ -71,9 +71,7 @@ fn theorem_iv1_wave_functions_are_bounded() {
         for k in 0..=50 {
             let r = b * k as f64 / 50.0;
             let z = Point::new(r, 0.0);
-            for (name, w, q) in
-                [("DAM", dam.wave(z), dam.q()), ("HUEM", huem.wave(z), huem.q())]
-            {
+            for (name, w, q) in [("DAM", dam.wave(z), dam.q()), ("HUEM", huem.wave(z), huem.q())] {
                 assert!(
                     w >= q * (1.0 - 1e-12) && w <= q * eps.exp() * (1.0 + 1e-12),
                     "{name} eps {eps} b {b} r {r}: wave {w} outside [q, e^eps q]"

@@ -33,11 +33,9 @@ fn every_sam_kernel_respects_its_budget() {
     for &eps in &[0.7, 2.1, 3.5, 9.0] {
         for &d in &[3u32, 8, 15] {
             let b = optimal_b_cells(eps, d);
-            for kind in [
-                KernelKind::Shrunken,
-                KernelKind::NonShrunken,
-                KernelKind::ExactIntersection,
-            ] {
+            for kind in
+                [KernelKind::Shrunken, KernelKind::NonShrunken, KernelKind::ExactIntersection]
+            {
                 audit_kernel(&DiscreteKernel::dam(eps, d, b, kind), eps);
             }
             audit_kernel(&DiscreteKernel::huem(eps, d, b), eps);

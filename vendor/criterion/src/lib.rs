@@ -1,0 +1,202 @@
+//! Vendored subset of `criterion`: groups, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros, measuring wall
+//! clock with `std::time::Instant` and reporting the median ns/iter. No
+//! statistical analysis, plots, or baselines — just honest medians, so
+//! `cargo bench` runs offline.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifier `function_name/parameter` for one benchmark in a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a displayable parameter.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        Self { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        Self { name: parameter.to_string() }
+    }
+}
+
+/// Things accepted as a benchmark identifier (`&str`, `String`, or
+/// [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// The rendered identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median nanoseconds per iteration of the last `iter` call.
+    pub median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median ns/iter in `median_ns`.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-sample iteration sizing: target ~2 ms per sample
+        // so fast routines are not dominated by timer resolution.
+        let warmup = Instant::now();
+        black_box(routine());
+        let once = warmup.elapsed();
+        let iters_per_sample = if once < Duration::from_micros(200) {
+            (Duration::from_millis(2).as_nanos() / once.as_nanos().max(1)).clamp(1, 1_000_000)
+                as usize
+        } else {
+            1
+        };
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples itself.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut bencher = Bencher { samples: self.sample_size, median_ns: f64::NAN };
+        f(&mut bencher);
+        self.criterion.record(&format!("{}/{}", self.name, id), bencher.median_ns);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into_id();
+        let mut bencher = Bencher { samples: self.sample_size, median_ns: f64::NAN };
+        f(&mut bencher, input);
+        self.criterion.record(&format!("{}/{}", self.name, id), bencher.median_ns);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 20 }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut bencher = Bencher { samples: 20, median_ns: f64::NAN };
+        f(&mut bencher);
+        self.record(&id, bencher.median_ns);
+        self
+    }
+
+    fn record(&mut self, name: &str, median_ns: f64) {
+        println!("{name:<60} median {:>14} ns/iter", format_ns(median_ns));
+        self.results.push((name.to_string(), median_ns));
+    }
+
+    /// All `(name, median ns/iter)` results recorded so far.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns.is_nan() {
+        return "n/a".into();
+    }
+    format!("{ns:.1}")
+}
+
+/// Declares a benchmark entry point running each target function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary (`harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

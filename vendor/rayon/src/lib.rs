@@ -1,0 +1,141 @@
+//! Vendored subset of `rayon`: parallel mutable chunk iteration over
+//! slices, implemented with `std::thread::scope`. Only the combinators the
+//! workspace uses are provided (`par_chunks_mut().enumerate().for_each()`,
+//! [`join`], [`current_num_threads`]); there is no work-stealing pool —
+//! chunks are striped across `available_parallelism` scoped threads, which
+//! is the right shape for the uniform row-blocks the EM operators produce.
+
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+/// Parallel operations on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over non-overlapping mutable chunks of
+    /// `chunk_size` elements (the last chunk may be shorter).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParChunksMut { slice: self, chunk_size }
+    }
+}
+
+/// Parallel mutable chunk iterator.
+pub struct ParChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> EnumeratedChunksMut<'a, T> {
+        EnumeratedChunksMut { slice: self.slice, chunk_size: self.chunk_size }
+    }
+
+    /// Applies `f` to every chunk, in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// Enumerated parallel mutable chunk iterator.
+pub struct EnumeratedChunksMut<'a, T: Send> {
+    slice: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> EnumeratedChunksMut<'a, T> {
+    /// Applies `f` to every `(index, chunk)` pair, in parallel.
+    ///
+    /// Chunks are striped over up to [`current_num_threads`] scoped
+    /// threads; with one chunk or one core the call degrades to a plain
+    /// sequential loop with no thread spawned.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let chunks: Vec<(usize, &'a mut [T])> =
+            self.slice.chunks_mut(self.chunk_size).enumerate().collect();
+        let workers = current_num_threads().min(chunks.len()).max(1);
+        if workers <= 1 {
+            for item in chunks {
+                f(item);
+            }
+            return;
+        }
+        // Stripe chunks round-robin so uneven tails spread across workers.
+        let mut buckets: Vec<Vec<(usize, &'a mut [T])>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, item) in chunks.into_iter().enumerate() {
+            buckets[i % workers].push(item);
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for bucket in buckets {
+                s.spawn(move || {
+                    for item in bucket {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_slice_exactly_once() {
+        let mut v = vec![u64::MAX; 1003];
+        v.par_chunks_mut(17).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i as u64; // stamp every element with its chunk index
+            }
+        });
+        for (k, &x) in v.iter().enumerate() {
+            assert_eq!(x, (k / 17) as u64);
+        }
+    }
+
+    #[test]
+    fn enumerate_indices_match_offsets() {
+        let mut v: Vec<usize> = (0..100).collect();
+        v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            assert_eq!(chunk[0], i * 10);
+        });
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+}

@@ -6,6 +6,7 @@
 //! criticises; it is included as the floor baseline for the ablation
 //! benches.
 
+use dam_core::shard::sharded_accumulate;
 use dam_core::SpatialEstimator;
 use dam_fo::{Grr, Oue};
 use dam_geo::{Grid2D, Histogram2D, Point};
@@ -25,13 +26,21 @@ pub enum CfoFlavor {
 pub struct CfoEstimator {
     eps: f64,
     flavor: CfoFlavor,
+    threads: Option<usize>,
 }
 
 impl CfoEstimator {
     /// Creates the estimator.
     pub fn new(eps: f64, flavor: CfoFlavor) -> Self {
         assert!(eps > 0.0 && eps.is_finite(), "privacy budget must be positive");
-        Self { eps, flavor }
+        Self { eps, flavor, threads: None }
+    }
+
+    /// Sets the report-pipeline thread count (`None` = all cores; the
+    /// output is bit-identical for any value).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Clamps negative unbiased estimates to zero and renormalises — the
@@ -65,24 +74,42 @@ impl SpatialEstimator for CfoEstimator {
         if n == 1 {
             return Histogram2D::from_values(grid.clone(), vec![1.0]);
         }
+        // One draw keys the deterministic per-shard streams of the
+        // sharded report pipeline (bit-identical for any thread count).
+        let master_seed = rng.next_u64();
         let est = match self.flavor {
             CfoFlavor::Grr => {
                 let grr = Grr::new(n, self.eps);
-                let mut counts = vec![0usize; n];
-                for &p in points {
-                    let v = grid.flat(grid.cell_of(p));
-                    counts[grr.perturb(v, rng)] += 1;
-                }
+                let counts = sharded_accumulate(
+                    points.len(),
+                    n,
+                    master_seed,
+                    self.threads,
+                    |range, rng, buf| {
+                        for &p in &points[range] {
+                            let v = grid.flat(grid.cell_of(p));
+                            buf[grr.perturb(v, rng)] += 1.0;
+                        }
+                    },
+                );
+                let counts: Vec<usize> = counts.iter().map(|&c| c as usize).collect();
                 grr.estimate(&counts)
             }
             CfoFlavor::Oue => {
                 let oue = Oue::new(n, self.eps);
-                let mut support = vec![0.0f64; n];
-                for &p in points {
-                    let v = grid.flat(grid.cell_of(p));
-                    let rep = oue.perturb(v, rng);
-                    oue.accumulate(&rep, &mut support);
-                }
+                let support = sharded_accumulate(
+                    points.len(),
+                    n,
+                    master_seed,
+                    self.threads,
+                    |range, rng, buf| {
+                        for &p in &points[range] {
+                            let v = grid.flat(grid.cell_of(p));
+                            let rep = oue.perturb(v, rng);
+                            oue.accumulate(&rep, buf);
+                        }
+                    },
+                );
                 oue.estimate(&support, points.len())
             }
         };

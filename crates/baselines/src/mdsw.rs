@@ -12,6 +12,7 @@
 //! samples one dimension per user and spends the full `ε` on it (an
 //! ablation of the standard split-vs-sample trade-off).
 
+use dam_core::shard::sharded_accumulate;
 use dam_core::SpatialEstimator;
 use dam_fo::em::{expectation_maximization, smooth_1d, Channel, EmParams};
 use dam_fo::sw::SquareWave;
@@ -39,18 +40,26 @@ pub struct Mdsw {
     eps: f64,
     budget: MdswBudget,
     em: EmParams,
+    threads: Option<usize>,
 }
 
 impl Mdsw {
     /// Creates MDSW with the paper's half-split budget.
     pub fn new(eps: f64) -> Self {
         assert!(eps > 0.0 && eps.is_finite(), "privacy budget must be positive");
-        Self { eps, budget: MdswBudget::SplitHalf, em: EmParams::default() }
+        Self { eps, budget: MdswBudget::SplitHalf, em: EmParams::default(), threads: None }
     }
 
     /// Selects a budget strategy.
     pub fn with_budget(mut self, budget: MdswBudget) -> Self {
         self.budget = budget;
+        self
+    }
+
+    /// Sets the report-pipeline thread count (`None` = all cores; the
+    /// output is bit-identical for any value).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -65,16 +74,13 @@ impl Mdsw {
         ((value - min) / grid.bbox().side()).clamp(0.0, 1.0)
     }
 
-    /// Runs SW + EMS on one dimension's reports, returning a `d`-bin
-    /// marginal estimate.
-    fn estimate_marginal(sw: &SquareWave, d: usize, reports: &[f64], em: EmParams) -> Vec<f64> {
+    /// Runs EMS on one dimension's binned output counts, returning a
+    /// `d`-bin marginal estimate.
+    fn estimate_marginal(sw: &SquareWave, d: usize, counts: &[f64], em: EmParams) -> Vec<f64> {
         let matrix = sw.transition_matrix(d);
-        let mut counts = vec![0.0f64; matrix.n_out];
-        for &r in reports {
-            counts[matrix.output_bin(r)] += 1.0;
-        }
+        debug_assert_eq!(counts.len(), matrix.n_out);
         let channel = Channel::new(matrix.n_out, matrix.n_in, matrix.data.clone());
-        expectation_maximization(&channel, &counts, Some(&|f: &mut [f64]| smooth_1d(f)), em)
+        expectation_maximization(&channel, counts, Some(&|f: &mut [f64]| smooth_1d(f)), em)
     }
 
     /// Joint-EM estimation: both coordinates are perturbed independently,
@@ -94,15 +100,24 @@ impl Mdsw {
         let n_out_dim = m.n_out;
         let n_out = n_out_dim * n_out_dim;
         let n_in = d * d;
-        // Joint output counts.
-        let mut counts = vec![0.0f64; n_out];
-        for &p in points {
-            let x = Self::norm_coord(grid, p.x, bbox.min_x);
-            let y = Self::norm_coord(grid, p.y, bbox.min_y);
-            let ox = m.output_bin(sw.perturb(x, rng));
-            let oy = m.output_bin(sw.perturb(y, rng));
-            counts[oy * n_out_dim + ox] += 1.0;
-        }
+        // Joint output counts, sampled shard-parallel with deterministic
+        // per-shard streams.
+        let master_seed = rng.next_u64();
+        let counts = sharded_accumulate(
+            points.len(),
+            n_out,
+            master_seed,
+            self.threads,
+            |range, rng, buf| {
+                for &p in &points[range] {
+                    let x = Self::norm_coord(grid, p.x, bbox.min_x);
+                    let y = Self::norm_coord(grid, p.y, bbox.min_y);
+                    let ox = m.output_bin(sw.perturb(x, rng));
+                    let oy = m.output_bin(sw.perturb(y, rng));
+                    buf[oy * n_out_dim + ox] += 1.0;
+                }
+            },
+        );
         // Product channel, row-major (o, i) with o = oy*n_out_dim + ox and
         // i = iy*d + ix.
         let mut data = vec![0.0f64; n_out * n_in];
@@ -147,29 +162,43 @@ impl SpatialEstimator for Mdsw {
         if self.budget == MdswBudget::JointEm {
             return self.estimate_joint(&sw, points, grid, rng);
         }
-        let mut x_reports = Vec::new();
-        let mut y_reports = Vec::new();
-        for &p in points {
-            let x = Self::norm_coord(grid, p.x, bbox.min_x);
-            let y = Self::norm_coord(grid, p.y, bbox.min_y);
-            if both {
-                x_reports.push(sw.perturb(x, rng));
-                y_reports.push(sw.perturb(y, rng));
-            } else if rng.gen::<bool>() {
-                x_reports.push(sw.perturb(x, rng));
-            } else {
-                y_reports.push(sw.perturb(y, rng));
-            }
-        }
-        let fx = if x_reports.is_empty() {
+        // Per-dimension binned output counts, sampled shard-parallel with
+        // deterministic per-shard streams: the buffer holds the x counts
+        // followed by the y counts.
+        let m = sw.transition_matrix(d);
+        let n_out = m.n_out;
+        let master_seed = rng.next_u64();
+        let counts = sharded_accumulate(
+            points.len(),
+            2 * n_out,
+            master_seed,
+            self.threads,
+            |range, rng, buf| {
+                let (bx, by) = buf.split_at_mut(n_out);
+                for &p in &points[range] {
+                    let x = Self::norm_coord(grid, p.x, bbox.min_x);
+                    let y = Self::norm_coord(grid, p.y, bbox.min_y);
+                    if both {
+                        bx[m.output_bin(sw.perturb(x, rng))] += 1.0;
+                        by[m.output_bin(sw.perturb(y, rng))] += 1.0;
+                    } else if rng.gen::<bool>() {
+                        bx[m.output_bin(sw.perturb(x, rng))] += 1.0;
+                    } else {
+                        by[m.output_bin(sw.perturb(y, rng))] += 1.0;
+                    }
+                }
+            },
+        );
+        let (x_counts, y_counts) = counts.split_at(n_out);
+        let fx = if x_counts.iter().sum::<f64>() == 0.0 {
             vec![1.0 / d as f64; d]
         } else {
-            Self::estimate_marginal(&sw, d, &x_reports, self.em)
+            Self::estimate_marginal(&sw, d, x_counts, self.em)
         };
-        let fy = if y_reports.is_empty() {
+        let fy = if y_counts.iter().sum::<f64>() == 0.0 {
             vec![1.0 / d as f64; d]
         } else {
-            Self::estimate_marginal(&sw, d, &y_reports, self.em)
+            Self::estimate_marginal(&sw, d, y_counts, self.em)
         };
         // Joint = outer product of the marginals.
         let mut values = vec![0.0f64; d * d];

@@ -18,6 +18,7 @@
 //! algorithm for this Poisson-counts inverse problem.
 
 use crate::subset::{inclusion_probabilities, LogEsp};
+use dam_core::shard::sharded_accumulate;
 use dam_core::SpatialEstimator;
 use dam_geo::{Grid2D, Histogram2D, Point};
 use rand::RngCore;
@@ -30,6 +31,7 @@ pub struct SemGeoI {
     k: Option<usize>,
     /// Richardson–Lucy iterations.
     rl_iters: usize,
+    threads: Option<usize>,
 }
 
 impl SemGeoI {
@@ -37,13 +39,20 @@ impl SemGeoI {
     /// `eps_geo · dis(v, ṽ)`, distances in cell units).
     pub fn new(eps_geo: f64) -> Self {
         assert!(eps_geo > 0.0 && eps_geo.is_finite(), "privacy budget must be positive");
-        Self { eps_geo, k: None, rl_iters: 200 }
+        Self { eps_geo, k: None, rl_iters: 200, threads: None }
     }
 
     /// Overrides the subset size.
     pub fn with_k(mut self, k: usize) -> Self {
         assert!(k >= 1, "subset size must be at least 1");
         self.k = Some(k);
+        self
+    }
+
+    /// Sets the report-pipeline thread count (`None` = all cores; the
+    /// output is bit-identical for any value).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
         self
     }
 
@@ -92,27 +101,48 @@ impl SpatialEstimator for SemGeoI {
         let k = self.resolve_k(n);
         let centers = Self::cell_centers(grid);
 
-        // Group users by input cell so the O(nk) sampling table is built
-        // once per distinct cell.
-        let mut cell_counts = vec![0u64; n];
+        // Group users by input cell once, and build each occupied cell's
+        // O(nk) sampling table once — the tables are read-only, so every
+        // shard shares them (only RNG draws must be per-shard for the
+        // thread-count-invariance guarantee).
+        let mut global_counts = vec![0u64; n];
         for &p in points {
-            cell_counts[grid.flat(grid.cell_of(p))] += 1;
+            global_counts[grid.flat(grid.cell_of(p))] += 1;
         }
+        let tables: Vec<Option<(Vec<f64>, LogEsp)>> = global_counts
+            .iter()
+            .enumerate()
+            .map(|(v, &users)| {
+                (users > 0).then(|| {
+                    let lw = self.log_weights(&centers, v, k);
+                    let esp = LogEsp::backward(&lw, k);
+                    (lw, esp)
+                })
+            })
+            .collect();
 
-        // Randomized reporting: accumulate inclusion counts.
-        let mut incl_counts = vec![0.0f64; n];
-        for (v, &users) in cell_counts.iter().enumerate() {
-            if users == 0 {
-                continue;
-            }
-            let lw = self.log_weights(&centers, v, k);
-            let esp = LogEsp::backward(&lw, k);
-            for _ in 0..users {
-                for u in esp.sample(&lw, rng) {
-                    incl_counts[u] += 1.0;
+        // Randomized reporting, shard-parallel with deterministic
+        // per-shard streams: each shard accumulates inclusion counts into
+        // a private buffer.
+        let master_seed = rng.next_u64();
+        let incl_counts =
+            sharded_accumulate(points.len(), n, master_seed, self.threads, |range, rng, buf| {
+                let mut cell_counts = vec![0u64; n];
+                for &p in &points[range] {
+                    cell_counts[grid.flat(grid.cell_of(p))] += 1;
                 }
-            }
-        }
+                for (v, &users) in cell_counts.iter().enumerate() {
+                    if users == 0 {
+                        continue;
+                    }
+                    let (lw, esp) = tables[v].as_ref().expect("occupied cell must have a table");
+                    for _ in 0..users {
+                        for u in esp.sample(lw, rng) {
+                            buf[u] += 1.0;
+                        }
+                    }
+                }
+            });
 
         // Exact inclusion-probability matrix Π[u][v], row-major over u.
         let mut pi = vec![0.0f64; n * n];
@@ -125,7 +155,7 @@ impl SpatialEstimator for SemGeoI {
         }
 
         // Richardson–Lucy inversion of E[c_u] = N · Σ_v Π[u][v] f_v.
-        let n_users: f64 = cell_counts.iter().map(|&c| c as f64).sum();
+        let n_users = points.len() as f64;
         let observed: Vec<f64> = incl_counts.iter().map(|&c| c / n_users).collect();
         let mut f = vec![1.0 / n as f64; n];
         let mut denom = vec![0.0f64; n];

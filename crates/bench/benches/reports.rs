@@ -1,0 +1,90 @@
+//! Report-phase throughput at million-user scale: the legacy sequential
+//! per-point loop vs the sharded pipeline on the persistent worker pool
+//! (the embarrassingly parallel layer of every LDP protocol — §VI-B's
+//! O(1)-per-report client cost only pays off if the simulation fans it
+//! out).
+//!
+//! Emits `BENCH_reports.json` at the repo root — machine-readable medians
+//! plus the sharded-over-sequential speedup, so later PRs can regress
+//! against a recorded throughput trajectory. The speedup scales with the
+//! worker count (recorded in the JSON); on a single-core runner the two
+//! paths are equivalent by construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dam_bench::{bench_grid, bench_points};
+use dam_core::{DamClient, DamConfig};
+use dam_geo::rng::seeded;
+use std::hint::black_box;
+
+/// ≥ 1M simulated users, the regime the fig9 large-d binaries now run by
+/// default.
+const N_POINTS: usize = 1_000_000;
+const D: u32 = 20;
+const EPS: f64 = 3.5;
+const MASTER_SEED: u64 = 0xBE7C_0011;
+
+fn bench_report_phase(c: &mut Criterion) {
+    let points = bench_points(N_POINTS, 9);
+    let client = DamClient::new(bench_grid(D), &DamConfig::dam(EPS));
+    let od = client.kernel().out_d() as usize;
+    {
+        let mut group = c.benchmark_group("reports_throughput");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("sequential", N_POINTS), &N_POINTS, |bench, _| {
+            bench.iter(|| {
+                let mut rng = seeded(MASTER_SEED);
+                let mut counts = vec![0.0f64; od * od];
+                for &p in &points {
+                    let noisy = client.report(p, &mut rng);
+                    counts[noisy.iy as usize * od + noisy.ix as usize] += 1.0;
+                }
+                black_box(counts)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("sharded", N_POINTS), &N_POINTS, |bench, _| {
+            bench.iter(|| black_box(client.report_batch(&points, MASTER_SEED, None)));
+        });
+        group.finish();
+    }
+    emit_bench_json(c);
+}
+
+/// Writes `BENCH_reports.json` at the repo root: median ns per 1M-report
+/// batch for both paths, per-report cost, worker count and the headline
+/// speedup.
+fn emit_bench_json(c: &Criterion) {
+    let median = |path: &str| -> Option<f64> {
+        c.results()
+            .iter()
+            .find(|(name, _)| name == &format!("reports_throughput/{path}/{N_POINTS}"))
+            .map(|&(_, ns)| ns)
+    };
+    let (Some(seq), Some(sharded)) = (median("sequential"), median("sharded")) else {
+        eprintln!("reports_throughput results missing; not writing BENCH_reports.json");
+        return;
+    };
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let speedup = seq / sharded;
+    let json = format!(
+        "{{\n  \"bench\": \"reports_throughput\",\n  \"n_points\": {N_POINTS},\n  \
+         \"d\": {D},\n  \"eps\": {EPS},\n  \"threads\": {threads},\n  \"configs\": [\n    \
+         {{\"path\": \"sequential\", \"median_ns_per_batch\": {seq:.1}, \
+         \"median_ns_per_report\": {:.2}}},\n    \
+         {{\"path\": \"sharded\", \"median_ns_per_batch\": {sharded:.1}, \
+         \"median_ns_per_report\": {:.2}}}\n  ],\n  \
+         \"speedup_sharded_over_sequential\": {speedup:.2}\n}}\n",
+        seq / N_POINTS as f64,
+        sharded / N_POINTS as f64,
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reports.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!(
+            "wrote {path} (sharded/sequential speedup at {N_POINTS} reports, \
+             {threads} threads: {speedup:.2}x)"
+        ),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_report_phase);
+criterion_main!(benches);

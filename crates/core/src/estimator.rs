@@ -13,6 +13,7 @@ use crate::grid::KernelKind;
 use crate::kernel::DiscreteKernel;
 use crate::radius::optimal_b_cells;
 use crate::response::GridAreaResponse;
+use crate::shard::sharded_accumulate;
 use dam_fo::em::EmParams;
 use dam_geo::{CellIndex, Grid2D, Histogram2D, Point};
 use rand::RngCore;
@@ -82,6 +83,10 @@ pub struct DamConfig {
     /// Which EM operator to run PostProcess against (convolution by
     /// default; dense is the reference path for A/B comparison).
     pub backend: EmBackend,
+    /// Worker threads for the sharded report pipeline (`None` = all
+    /// cores). Any value yields bit-identical output — shard layout and
+    /// RNG streams are thread-count independent.
+    pub threads: Option<usize>,
 }
 
 impl DamConfig {
@@ -94,7 +99,14 @@ impl DamConfig {
             post: PostProcess::Em,
             em: EmParams::default(),
             backend: EmBackend::Convolution,
+            threads: None,
         }
+    }
+
+    /// Sets the report-pipeline thread count (`None` = all cores).
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// DAM-NS (no shrinkage) at budget `eps`.
@@ -142,8 +154,33 @@ impl DamClient {
     }
 
     /// Randomizes one point into an output-grid cell index.
+    #[inline]
     pub fn report(&self, point: Point, rng: &mut (impl rand::Rng + ?Sized)) -> CellIndex {
         self.response.respond(self.grid.cell_of(point), rng)
+    }
+
+    /// Randomizes every point and aggregates the noisy reports into a
+    /// count buffer over the output grid (row-major, one whole-number
+    /// entry per output cell), shard-parallel on the persistent worker
+    /// pool.
+    ///
+    /// `master_seed` keys the per-shard SplitMix64 RNG streams, so the
+    /// result is bit-identical for any `threads` value (including
+    /// `Some(1)`, the sequential reference). Feed the buffer to
+    /// [`DamAggregator::ingest_counts`].
+    pub fn report_batch(
+        &self,
+        points: &[Point],
+        master_seed: u64,
+        threads: Option<usize>,
+    ) -> Vec<f64> {
+        let od = self.kernel().out_d() as usize;
+        sharded_accumulate(points.len(), od * od, master_seed, threads, |range, rng, buf| {
+            for &p in &points[range] {
+                let noisy = self.response.respond(self.grid.cell_of(p), rng);
+                buf[noisy.iy as usize * od + noisy.ix as usize] += 1.0;
+            }
+        })
     }
 }
 
@@ -171,6 +208,20 @@ impl DamAggregator {
         assert!(noisy.ix < od && noisy.iy < od, "report outside the output grid");
         self.counts[noisy.iy as usize * od as usize + noisy.ix as usize] += 1.0;
         self.n_reports += 1;
+    }
+
+    /// Merges a pre-aggregated count buffer (one whole-number entry per
+    /// output cell, as produced by [`DamClient::report_batch`]) into the
+    /// running noisy histogram.
+    pub fn ingest_counts(&mut self, counts: &[f64]) {
+        assert_eq!(counts.len(), self.counts.len(), "count buffer shape mismatch");
+        let mut total = 0.0f64;
+        for (acc, &c) in self.counts.iter_mut().zip(counts) {
+            debug_assert!(c >= 0.0 && c.fract() == 0.0, "counts must be whole numbers");
+            *acc += c;
+            total += c;
+        }
+        self.n_reports += total as u64;
     }
 
     /// Number of reports ingested so far.
@@ -225,10 +276,10 @@ impl SpatialEstimator for DamEstimator {
         assert!(!points.is_empty(), "cannot estimate from zero points");
         let client = DamClient::new(grid.clone(), &self.config);
         let mut agg = DamAggregator::new(&client);
-        for &p in points {
-            let noisy = client.report(p, rng);
-            agg.ingest(noisy);
-        }
+        // One draw keys every shard's stream: the caller's RNG advances
+        // identically no matter how many threads execute the batch.
+        let master_seed = rng.next_u64();
+        agg.ingest_counts(&client.report_batch(points, master_seed, self.config.threads));
         agg.estimate_with(self.config.post, self.config.em, self.config.backend)
     }
 }

@@ -41,6 +41,7 @@ pub mod kernel;
 pub mod radius;
 pub mod response;
 pub mod sam;
+pub mod shard;
 
 pub use conv::ConvChannel;
 pub use em2d::{EmBackend, PostProcess};

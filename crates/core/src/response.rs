@@ -43,6 +43,7 @@ impl GridAreaResponse {
     }
 
     /// Randomizes one input cell into an output-grid cell.
+    #[inline]
     pub fn respond(&self, input: CellIndex, rng: &mut (impl Rng + ?Sized)) -> CellIndex {
         let d = self.kernel.d();
         assert!(input.ix < d && input.iy < d, "input cell out of grid");

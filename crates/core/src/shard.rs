@@ -1,0 +1,129 @@
+//! Deterministic sharded accumulation — the embarrassingly parallel layer
+//! of every LDP protocol in the workspace.
+//!
+//! The paper's client side is O(1) per report, so simulating millions of
+//! users is bottlenecked only by the sequential `for` loop driving the
+//! per-user randomizer. This module splits the user range into fixed-size
+//! shards, gives every shard an **independent deterministic RNG stream**
+//! ([`dam_geo::rng::shard_rng`], SplitMix64 stream splitting over
+//! `(master_seed, shard_id)`), samples each shard into a private count
+//! buffer on the persistent worker pool (`rayon::pool`), and merges the
+//! buffers in shard order.
+//!
+//! Two invariants make the result bit-identical for **any** thread count,
+//! including 1:
+//!
+//! * the shard layout depends only on the number of points
+//!   ([`SHARD_SIZE`] is a constant), never on the executing thread count;
+//! * every shard's randomness comes from its own stream, so which thread
+//!   runs which shard — and in what order — cannot change any draw.
+//!
+//! Buffers hold whole-number counts, so the shard-order merge is exact
+//! f64 integer addition (no rounding until counts exceed 2⁵³).
+
+use dam_geo::rng::shard_rng;
+use rand::rngs::StdRng;
+use rayon::prelude::*;
+use std::ops::Range;
+
+/// Points per shard. Small enough that million-user batches fan out over
+/// every core, large enough that per-shard setup (an RNG seed and a count
+/// buffer) is noise next to the sampling work.
+pub const SHARD_SIZE: usize = 16_384;
+
+/// Number of shards for a batch of `n_points` (at least 1; depends only
+/// on `n_points`).
+pub fn n_shards(n_points: usize) -> usize {
+    n_points.div_ceil(SHARD_SIZE).max(1)
+}
+
+/// Half-open index range of shard `shard` within a batch of `n_points`.
+pub fn shard_range(shard: usize, n_points: usize) -> Range<usize> {
+    let start = shard * SHARD_SIZE;
+    start..((start + SHARD_SIZE).min(n_points))
+}
+
+/// Runs `fill(range, rng, buf)` once per shard — in parallel on up to
+/// `threads` workers (default: all cores) — and returns the per-shard
+/// `f64` buffers summed in shard order.
+///
+/// `fill` receives the shard's point range, the shard's private RNG
+/// stream, and a zeroed buffer of `buf_len` entries. The output is
+/// bit-identical for any `threads`, including `Some(1)`, which executes
+/// the shards as a plain sequential loop.
+pub fn sharded_accumulate<F>(
+    n_points: usize,
+    buf_len: usize,
+    master_seed: u64,
+    threads: Option<usize>,
+    fill: F,
+) -> Vec<f64>
+where
+    F: Fn(Range<usize>, &mut StdRng, &mut [f64]) + Sync,
+{
+    let shards = n_shards(n_points);
+    if buf_len == 0 {
+        return Vec::new();
+    }
+    // One contiguous allocation, one disjoint chunk per shard.
+    let mut bufs = vec![0.0f64; shards * buf_len];
+    bufs.par_chunks_mut(buf_len).with_threads(threads).enumerate().for_each(|(s, buf)| {
+        let mut rng = shard_rng(master_seed, s as u64);
+        fill(shard_range(s, n_points), &mut rng, buf);
+    });
+    let (merged, rest) = bufs.split_at_mut(buf_len);
+    for buf in rest.chunks(buf_len) {
+        for (acc, &v) in merged.iter_mut().zip(buf) {
+            *acc += v;
+        }
+    }
+    bufs.truncate(buf_len);
+    bufs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn shard_ranges_partition_the_batch() {
+        for n in [0usize, 1, SHARD_SIZE - 1, SHARD_SIZE, SHARD_SIZE + 1, 3 * SHARD_SIZE + 17] {
+            let shards = n_shards(n);
+            let mut covered = 0usize;
+            for s in 0..shards {
+                let r = shard_range(s, n);
+                assert_eq!(r.start, covered, "shard {s} must start where {} ended", s as i64 - 1);
+                covered = r.end;
+            }
+            assert_eq!(covered, n, "shards must cover all {n} points");
+        }
+    }
+
+    #[test]
+    fn accumulate_is_thread_count_invariant() {
+        let n = 2 * SHARD_SIZE + 777;
+        let run = |threads| {
+            sharded_accumulate(n, 32, 99, threads, |range, rng, buf| {
+                for _ in range {
+                    buf[rng.gen_range(0usize..32)] += 1.0;
+                }
+            })
+        };
+        let reference = run(Some(1));
+        assert_eq!(reference.iter().sum::<f64>(), n as f64);
+        for threads in [Some(2), Some(8), None] {
+            let got = run(threads);
+            let same = reference.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "threads {threads:?} diverged from the sequential reference");
+        }
+    }
+
+    #[test]
+    fn empty_batch_yields_zero_counts() {
+        let counts = sharded_accumulate(0, 8, 1, None, |range, _, _| {
+            assert!(range.is_empty());
+        });
+        assert_eq!(counts, vec![0.0; 8]);
+    }
+}

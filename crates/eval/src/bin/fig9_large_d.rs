@@ -10,7 +10,10 @@ use dam_eval::report::fmt4;
 use dam_eval::{run_jobs, CliArgs, EvalContext, Job, MechSpec, Report};
 
 fn main() {
-    let args = CliArgs::parse();
+    // Full user counts by default, even under --fast: the sharded report
+    // pipeline makes the large-d regime affordable (explicit --users
+    // still caps).
+    let args = CliArgs::parse().with_full_users();
     let ctx = EvalContext::from_args(&args);
     let mechs = MechSpec::FIGURE9_LARGE;
     let mut jobs = Vec::new();
@@ -21,7 +24,7 @@ fn main() {
             }
         }
     }
-    let results = run_jobs(&ctx, &jobs, None);
+    let results = run_jobs(&ctx, &jobs, args.threads);
 
     let mut idx = 0;
     for &ds in &DatasetKind::FIGURE_ORDER {

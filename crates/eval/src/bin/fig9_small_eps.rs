@@ -24,7 +24,7 @@ fn main() {
             }
         }
     }
-    let results = run_jobs(&ctx, &jobs, None);
+    let results = run_jobs(&ctx, &jobs, args.threads);
 
     let mut idx = 0;
     for &ds in &DatasetKind::FIGURE_ORDER {

@@ -10,6 +10,10 @@ pub struct CliArgs {
     pub repeats: usize,
     /// Optional cap on users per dataset part.
     pub users: Option<usize>,
+    /// True when `users` holds `--fast`'s default cap rather than an
+    /// explicit `--users` value (the large-d binaries undo that cap: the
+    /// sharded report pipeline makes full user counts affordable).
+    pub fast_user_cap: bool,
     /// Experiment seed.
     pub seed: u64,
     /// CSV output directory.
@@ -21,6 +25,10 @@ pub struct CliArgs {
     /// Run EM against the dense reference channel instead of the
     /// convolution operator (A/B comparison; much slower at large d).
     pub dense_em: bool,
+    /// Worker threads for the job runner and the sharded report pipeline
+    /// (default: available parallelism). Results are bit-identical for
+    /// any value — this is a wall-clock knob, not a semantics knob.
+    pub threads: Option<usize>,
 }
 
 impl Default for CliArgs {
@@ -28,11 +36,13 @@ impl Default for CliArgs {
         Self {
             repeats: 3,
             users: None,
+            fast_user_cap: false,
             seed: 42,
             out: PathBuf::from("results"),
             fast: false,
             no_calib: false,
             dense_em: false,
+            threads: None,
         }
     }
 }
@@ -59,17 +69,36 @@ impl CliArgs {
                 "--fast" => out.fast = true,
                 "--no-calib" => out.no_calib = true,
                 "--dense-em" => out.dense_em = true,
+                "--threads" => {
+                    let n: usize = value("--threads").parse().expect("bad --threads");
+                    assert!(n >= 1, "--threads must be at least 1");
+                    out.threads = Some(n);
+                }
                 other => panic!(
                     "unknown flag {other}; known: --repeats --users --seed --out --fast \
-                     --no-calib --dense-em"
+                     --no-calib --dense-em --threads"
                 ),
             }
         }
         if out.fast {
             out.repeats = 1;
-            out.users.get_or_insert(50_000);
+            if out.users.is_none() {
+                out.users = Some(50_000);
+                out.fast_user_cap = true;
+            }
         }
         out
+    }
+
+    /// Lifts `--fast`'s default user cap (an explicit `--users` still
+    /// wins). The fig9 large-d binaries call this: with the sharded
+    /// report pipeline their full user counts are affordable by default.
+    pub fn with_full_users(mut self) -> Self {
+        if self.fast_user_cap {
+            self.users = None;
+            self.fast_user_cap = false;
+        }
+        self
     }
 }
 
@@ -89,6 +118,7 @@ mod tests {
         assert!(a.users.is_none());
         assert!(!a.fast);
         assert!(!a.dense_em);
+        assert!(a.threads.is_none());
     }
 
     #[test]
@@ -96,22 +126,44 @@ mod tests {
         let a = parse("--fast");
         assert_eq!(a.repeats, 1);
         assert_eq!(a.users, Some(50_000));
+        assert!(a.fast_user_cap);
     }
 
     #[test]
     fn explicit_values() {
-        let a = parse("--repeats 7 --users 1000 --seed 9 --out /tmp/x --no-calib --dense-em");
+        let a = parse(
+            "--repeats 7 --users 1000 --seed 9 --out /tmp/x --no-calib --dense-em --threads 2",
+        );
         assert_eq!(a.repeats, 7);
         assert_eq!(a.users, Some(1000));
         assert_eq!(a.seed, 9);
         assert_eq!(a.out, PathBuf::from("/tmp/x"));
         assert!(a.no_calib);
         assert!(a.dense_em);
+        assert_eq!(a.threads, Some(2));
+    }
+
+    #[test]
+    fn full_users_lifts_only_the_fast_cap() {
+        // --fast's default cap is lifted …
+        let a = parse("--fast").with_full_users();
+        assert_eq!(a.users, None);
+        assert!(!a.fast_user_cap);
+        assert_eq!(a.repeats, 1, "the repeat cap stays");
+        // … but an explicit --users always wins.
+        let b = parse("--fast --users 1234").with_full_users();
+        assert_eq!(b.users, Some(1234));
     }
 
     #[test]
     #[should_panic(expected = "unknown flag")]
     fn rejects_unknown() {
         parse("--bogus");
+    }
+
+    #[test]
+    #[should_panic(expected = "--threads must be at least 1")]
+    fn rejects_zero_threads() {
+        parse("--threads 0");
     }
 }

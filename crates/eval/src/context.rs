@@ -33,6 +33,10 @@ pub struct EvalContext {
     /// EM operator used by SAM-family mechanisms (convolution unless
     /// `--dense-em` requests the dense reference path).
     pub em_backend: EmBackend,
+    /// Worker threads for the job runner and every mechanism's sharded
+    /// report pipeline (`None` = available parallelism). Estimates are
+    /// bit-identical for any value.
+    pub threads: Option<usize>,
     datasets: Arc<Mutex<HashMap<DatasetKind, Arc<SpatialDataset>>>>,
 }
 
@@ -52,8 +56,15 @@ impl EvalContext {
             lp_samples: if args.fast { 400 } else { 1200 },
             no_calib: args.no_calib,
             em_backend: if args.dense_em { EmBackend::Dense } else { EmBackend::Convolution },
+            threads: args.threads,
             datasets: Arc::new(Mutex::new(HashMap::new())),
         }
+    }
+
+    /// A copy of this context with a different report-pipeline thread
+    /// count (the dataset cache is shared with the original).
+    pub fn with_threads(&self, threads: Option<usize>) -> Self {
+        Self { threads, ..self.clone() }
     }
 
     /// Loads (and caches) a dataset for this context's seed.
@@ -130,10 +141,9 @@ mod tests {
             repeats: 1,
             users: Some(4000),
             seed: 7,
-            out: "results".into(),
             fast: true,
             no_calib: true,
-            dense_em: false,
+            ..CliArgs::default()
         };
         EvalContext::from_args(&args)
     }

@@ -9,7 +9,13 @@
 //! --seed S      experiment seed                  (default 42)
 //! --out DIR     CSV output directory             (default results/)
 //! --fast        smoke-test mode: 1 repeat, 50k users, fewer MC samples
+//!               (the fig9 large-d binaries keep full user counts — the
+//!               sharded report pipeline makes them affordable)
 //! --no-calib    use ε directly for SEM-Geo-I instead of LP calibration
+//! --dense-em    dense reference EM channel instead of the convolution op
+//! --threads N   worker threads for the job runner and the sharded report
+//!               pipeline (default: available parallelism; results are
+//!               bit-identical for any value)
 //! ```
 //!
 //! Results are printed as aligned tables and written as CSV under the

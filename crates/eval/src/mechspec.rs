@@ -60,9 +60,14 @@ impl MechSpec {
         ctx: &EvalContext,
     ) -> Box<dyn SpatialEstimator + Send + Sync> {
         // Every SAM-family estimator inherits the context's EM backend
-        // (convolution by default, dense only under `--dense-em`).
+        // (convolution by default, dense only under `--dense-em`) and the
+        // report-pipeline thread count.
         let sam = |config: DamConfig| {
-            Box::new(DamEstimator::new(DamConfig { backend: ctx.em_backend, ..config }))
+            Box::new(DamEstimator::new(DamConfig {
+                backend: ctx.em_backend,
+                threads: ctx.threads,
+                ..config
+            }))
         };
         match self {
             MechSpec::Dam => sam(DamConfig::dam(eps)),
@@ -76,9 +81,13 @@ impl MechSpec {
                 sam(DamConfig { variant: SamVariant::DamExact, ..DamConfig::dam(eps) })
             }
             MechSpec::Huem => sam(DamConfig::huem(eps)),
-            MechSpec::Mdsw => Box::new(Mdsw::new(eps)),
-            MechSpec::Sem => Box::new(SemGeoI::new(sem_epsilon(eps, d, ctx))),
-            MechSpec::CfoGrr => Box::new(CfoEstimator::new(eps, CfoFlavor::Grr)),
+            MechSpec::Mdsw => Box::new(Mdsw::new(eps).with_threads(ctx.threads)),
+            MechSpec::Sem => {
+                Box::new(SemGeoI::new(sem_epsilon(eps, d, ctx)).with_threads(ctx.threads))
+            }
+            MechSpec::CfoGrr => {
+                Box::new(CfoEstimator::new(eps, CfoFlavor::Grr).with_threads(ctx.threads))
+            }
         }
     }
 }

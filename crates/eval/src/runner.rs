@@ -3,7 +3,9 @@
 //! Every figure is a grid of independent `(dataset, mechanism, d, ε)`
 //! points; the runner spreads them over worker threads (crossbeam scoped
 //! threads pulling indices from an atomic counter) and collects mean-W₂
-//! results in input order.
+//! results in input order. Each job's RNG stream is keyed on the job's
+//! *content*, never its position, so editing a figure's grid cannot
+//! silently change any other point's randomness.
 
 use crate::context::EvalContext;
 use crate::mechspec::MechSpec;
@@ -24,6 +26,33 @@ pub struct Job {
     pub eps: f64,
 }
 
+/// FNV-1a over one field, with a terminator so adjacent fields cannot
+/// alias (`"ab" + "c"` vs `"a" + "bc"`).
+fn fnv1a_field(mut h: u64, bytes: &[u8]) -> u64 {
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    (h ^ 0xFF).wrapping_mul(FNV_PRIME)
+}
+
+/// Deterministic RNG stream key derived from a job's content — dataset
+/// label, mechanism label, grid resolution and the exact bits of ε —
+/// never from the job's position in the job vector. Inserting, removing
+/// or reordering grid points therefore leaves every other job's
+/// randomness (and W₂) unchanged. Repeats are separated downstream by
+/// [`EvalContext::part_w2`], which mixes the repeat index into this
+/// stream.
+pub fn job_stream(job: &Job) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut h = FNV_OFFSET;
+    h = fnv1a_field(h, job.dataset.label().as_bytes());
+    h = fnv1a_field(h, job.mech.label().as_bytes());
+    h = fnv1a_field(h, &job.d.to_le_bytes());
+    h = fnv1a_field(h, &job.eps.to_bits().to_le_bytes());
+    splitmix64(h)
+}
+
 /// A finished evaluation point.
 #[derive(Debug, Clone)]
 pub struct JobResult {
@@ -36,18 +65,31 @@ pub struct JobResult {
 }
 
 /// Runs all jobs, using up to `threads` workers (defaults to the available
-/// parallelism). Results come back in job order.
+/// parallelism). Results come back in job order and are bit-identical for
+/// any thread count.
 pub fn run_jobs(ctx: &EvalContext, jobs: &[Job], threads: Option<usize>) -> Vec<JobResult> {
-    let n_threads = threads
+    let budget = threads
         .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4))
-        .clamp(1, jobs.len().max(1));
+        .max(1);
+    let n_threads = budget.clamp(1, jobs.len().max(1));
+    // Split the thread budget across the two parallel layers: with N job
+    // workers, each mechanism's sharded report pipeline gets N/budget
+    // threads, so the effective concurrency stays ≈ the requested cap
+    // instead of multiplying to N². A single-job list therefore spends
+    // the whole budget inside the report pipeline.
+    let ctx = ctx.with_threads(Some((budget / n_threads).max(1)));
+    let ctx = &ctx;
     // Pre-warm the dataset cache serially to avoid duplicated generation.
     for job in jobs {
         ctx.dataset(job.dataset);
     }
     let next = AtomicUsize::new(0);
+    let done = AtomicUsize::new(0);
     let results: Vec<parking_lot::Mutex<Option<JobResult>>> =
         jobs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+    // One lock serializes the multi-field progress lines so they cannot
+    // interleave when several workers finish at once.
+    let progress = parking_lot::Mutex::new(());
 
     crossbeam::scope(|scope| {
         for _ in 0..n_threads {
@@ -59,13 +101,14 @@ pub fn run_jobs(ctx: &EvalContext, jobs: &[Job], threads: Option<usize>) -> Vec<
                 let job = &jobs[i];
                 let start = std::time::Instant::now();
                 let mech = job.mech.build(job.eps, job.d, ctx);
-                let stream = splitmix64(i as u64 + 0x0B5E_55ED);
-                let w2 = ctx.dataset_w2(job.dataset, mech.as_ref(), job.d, stream);
+                let w2 = ctx.dataset_w2(job.dataset, mech.as_ref(), job.d, job_stream(job));
                 *results[i].lock() =
                     Some(JobResult { job: job.clone(), w2, secs: start.elapsed().as_secs_f64() });
+                let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                let _guard = progress.lock();
                 eprintln!(
                     "  [{}/{}] {:<12} {:<10} d={:<3} eps={:<4} -> W2 = {:.4}  ({:.1}s)",
-                    i + 1,
+                    finished,
                     jobs.len(),
                     job.dataset.label(),
                     job.mech.label(),
@@ -87,14 +130,18 @@ mod tests {
     use super::*;
     use crate::cli::CliArgs;
 
-    #[test]
-    fn runs_small_grid_in_order() {
-        let ctx = EvalContext::from_args(&CliArgs {
+    fn tiny_ctx() -> EvalContext {
+        EvalContext::from_args(&CliArgs {
             repeats: 1,
             users: Some(2000),
             no_calib: true,
             ..CliArgs::default()
-        });
+        })
+    }
+
+    #[test]
+    fn runs_small_grid_in_order() {
+        let ctx = tiny_ctx();
         let jobs = vec![
             Job { dataset: DatasetKind::SZipf, mech: MechSpec::Dam, d: 3, eps: 2.0 },
             Job { dataset: DatasetKind::SZipf, mech: MechSpec::Mdsw, d: 3, eps: 2.0 },
@@ -104,5 +151,32 @@ mod tests {
         assert_eq!(results[0].job.mech, MechSpec::Dam);
         assert_eq!(results[1].job.mech, MechSpec::Mdsw);
         assert!(results.iter().all(|r| r.w2.is_finite() && r.w2 >= 0.0));
+    }
+
+    #[test]
+    fn job_stream_depends_on_every_content_field() {
+        let base = Job { dataset: DatasetKind::SZipf, mech: MechSpec::Dam, d: 3, eps: 2.0 };
+        let s = job_stream(&base);
+        assert_eq!(s, job_stream(&base.clone()), "stream must be deterministic");
+        assert_ne!(s, job_stream(&Job { dataset: DatasetKind::Normal, ..base.clone() }));
+        assert_ne!(s, job_stream(&Job { mech: MechSpec::Huem, ..base.clone() }));
+        assert_ne!(s, job_stream(&Job { d: 4, ..base.clone() }));
+        assert_ne!(s, job_stream(&Job { eps: 2.5, ..base.clone() }));
+    }
+
+    #[test]
+    fn inserting_an_unrelated_job_leaves_other_results_bit_identical() {
+        // Regression: streams used to be keyed on the job's *index*, so
+        // editing a figure's grid changed every other point's randomness.
+        let ctx = tiny_ctx();
+        let probe = Job { dataset: DatasetKind::SZipf, mech: MechSpec::Dam, d: 3, eps: 2.0 };
+        let alone = run_jobs(&ctx, std::slice::from_ref(&probe), Some(1));
+        let unrelated = Job { dataset: DatasetKind::SZipf, mech: MechSpec::CfoGrr, d: 2, eps: 1.0 };
+        let shifted = run_jobs(&ctx, &[unrelated, probe], Some(2));
+        assert_eq!(
+            alone[0].w2.to_bits(),
+            shifted[1].w2.to_bits(),
+            "inserting a job before the probe must not change the probe's W2"
+        );
     }
 }

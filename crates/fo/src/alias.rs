@@ -70,12 +70,24 @@ impl AliasTable {
         self.prob.is_empty()
     }
 
-    /// Draws one outcome index in O(1).
+    /// Draws one outcome index in O(1), spending a single `u64` draw.
+    /// With `x = r/2⁶⁴ ∈ [0,1)`, the 128-bit product `r·k` splits into
+    /// `⌊x·k⌋` (high word: the slot, bias-free range reduction) and the
+    /// fractional part `x·k − ⌊x·k⌋` (low word: the coin), which is an
+    /// evenly spaced grid over `[0,1)` *conditioned on the slot* — unlike
+    /// reusing raw low bits of `r`, which correlate with the slot and
+    /// skew the accept probability once `k` approaches 2¹¹. Halving the
+    /// RNG traffic matters because every simulated user pays exactly one
+    /// `sample` call per report.
     #[inline]
     pub fn sample(&self, rng: &mut (impl Rng + ?Sized)) -> usize {
+        let r = rng.next_u64();
         let k = self.prob.len();
-        let i = rng.gen_range(0..k);
-        if rng.gen::<f64>() < self.prob[i] {
+        let wide = r as u128 * k as u128;
+        let i = (wide >> 64) as usize;
+        // Top 53 bits of the fractional word, mapped to [0, 1).
+        let coin = ((wide as u64) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if coin < self.prob[i] {
             i
         } else {
             self.alias[i]
@@ -125,6 +137,26 @@ mod tests {
             seen[t.sample(&mut rng)] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn large_table_frequencies_are_unbiased() {
+        // Regression for the one-draw sampler: with k = 4096 (a d = 64
+        // grid, as the trajectory mechanisms build) a coin reusing raw
+        // low bits of the slot draw is grossly biased, because the slot
+        // conditions those bits; the fractional-part coin must stay
+        // unbiased. Alternating weights 1 and 3 → class masses 1/4, 3/4.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        let k = 4096;
+        let weights: Vec<f64> = (0..k).map(|i| if i % 2 == 0 { 1.0 } else { 3.0 }).collect();
+        let t = AliasTable::new(&weights);
+        let n = 400_000;
+        let mut odd = 0.0f64;
+        for _ in 0..n {
+            odd += (t.sample(&mut rng) % 2) as f64;
+        }
+        let got = odd / n as f64;
+        assert!((got - 0.75).abs() < 0.005, "odd-class mass {got} vs 0.75");
     }
 
     #[test]

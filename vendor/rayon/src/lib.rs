@@ -1,20 +1,29 @@
 //! Vendored subset of `rayon`: parallel mutable chunk iteration over
-//! slices, implemented with `std::thread::scope`. Only the combinators the
+//! slices and [`join`], executed on a **persistent worker pool**
+//! ([`pool`]) instead of per-call scoped threads. Only the combinators the
 //! workspace uses are provided (`par_chunks_mut().enumerate().for_each()`,
-//! [`join`], [`current_num_threads`]); there is no work-stealing pool —
-//! chunks are striped across `available_parallelism` scoped threads, which
-//! is the right shape for the uniform row-blocks the EM operators produce.
+//! [`join`], [`current_num_threads`], [`pool::run`]); there is no
+//! work-stealing — task indices are claimed from an atomic counter, which
+//! is the right shape for the uniform row-blocks and report shards the
+//! workspace produces. The calling thread always participates, so with one
+//! thread (or one core) every entry point degrades to a plain sequential
+//! loop.
+
+pub mod pool;
 
 pub mod prelude {
     pub use crate::ParallelSliceMut;
 }
 
-/// Number of worker threads parallel operations will use.
+/// Number of worker threads parallel operations will use by default.
 pub fn current_num_threads() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
 /// Runs two closures, potentially in parallel, returning both results.
+///
+/// One closure may be picked up by a persistent pool worker; if the pool
+/// is saturated (or the machine single-core) the caller simply runs both.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -22,11 +31,23 @@ where
     RA: Send,
     RB: Send,
 {
-    std::thread::scope(|s| {
-        let hb = s.spawn(b);
-        let ra = a();
-        (ra, hb.join().expect("rayon::join closure panicked"))
-    })
+    use std::sync::Mutex;
+    let fa = Mutex::new(Some(a));
+    let fb = Mutex::new(Some(b));
+    let ra = Mutex::new(None);
+    let rb = Mutex::new(None);
+    pool::run(2, Some(2), |i| {
+        if i == 0 {
+            let f = fa.lock().unwrap().take().expect("join task 0 claimed twice");
+            *ra.lock().unwrap() = Some(f());
+        } else {
+            let f = fb.lock().unwrap().take().expect("join task 1 claimed twice");
+            *rb.lock().unwrap() = Some(f());
+        }
+    });
+    let ra = ra.into_inner().unwrap().expect("rayon::join closure panicked");
+    let rb = rb.into_inner().unwrap().expect("rayon::join closure panicked");
+    (ra, rb)
 }
 
 /// Parallel operations on mutable slices.
@@ -39,7 +60,7 @@ pub trait ParallelSliceMut<T: Send> {
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
         assert!(chunk_size > 0, "chunk size must be positive");
-        ParChunksMut { slice: self, chunk_size }
+        ParChunksMut { slice: self, chunk_size, threads: None }
     }
 }
 
@@ -47,12 +68,24 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
 pub struct ParChunksMut<'a, T: Send> {
     slice: &'a mut [T],
     chunk_size: usize,
+    threads: Option<usize>,
 }
 
 impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Caps the number of threads (caller included) used by `for_each`;
+    /// `None` (the default) uses [`current_num_threads`].
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Pairs every chunk with its index.
     pub fn enumerate(self) -> EnumeratedChunksMut<'a, T> {
-        EnumeratedChunksMut { slice: self.slice, chunk_size: self.chunk_size }
+        EnumeratedChunksMut {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+            threads: self.threads,
+        }
     }
 
     /// Applies `f` to every chunk, in parallel.
@@ -68,42 +101,52 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
 pub struct EnumeratedChunksMut<'a, T: Send> {
     slice: &'a mut [T],
     chunk_size: usize,
+    threads: Option<usize>,
+}
+
+/// `Send + Sync` raw-pointer wrapper for handing per-index slots to pool
+/// tasks; sound because each index is claimed by exactly one task.
+struct SlotPtr<T>(*mut T);
+// Manual impls: the derives would add an unwanted `T: Copy` bound.
+impl<T> Clone for SlotPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SlotPtr<T> {}
+unsafe impl<T> Send for SlotPtr<T> {}
+unsafe impl<T> Sync for SlotPtr<T> {}
+
+impl<T> SlotPtr<T> {
+    /// Pointer to slot `i`. Going through a method (rather than the raw
+    /// field) makes closures capture the whole `Sync` wrapper — 2021
+    /// disjoint-capture would otherwise grab the non-`Sync` field.
+    fn slot(&self, i: usize) -> *mut T {
+        // SAFETY: callers only pass indices within the allocation this
+        // wrapper was built from.
+        unsafe { self.0.add(i) }
+    }
 }
 
 impl<'a, T: Send> EnumeratedChunksMut<'a, T> {
-    /// Applies `f` to every `(index, chunk)` pair, in parallel.
-    ///
-    /// Chunks are striped over up to [`current_num_threads`] scoped
-    /// threads; with one chunk or one core the call degrades to a plain
-    /// sequential loop with no thread spawned.
+    /// Applies `f` to every `(index, chunk)` pair, in parallel on the
+    /// persistent worker pool (up to [`current_num_threads`] threads
+    /// including the caller); with one chunk or one core the call degrades
+    /// to a plain sequential loop with no pool interaction.
     pub fn for_each<F>(self, f: F)
     where
         F: Fn((usize, &'a mut [T])) + Sync,
     {
-        let chunks: Vec<(usize, &'a mut [T])> =
-            self.slice.chunks_mut(self.chunk_size).enumerate().collect();
-        let workers = current_num_threads().min(chunks.len()).max(1);
-        if workers <= 1 {
-            for item in chunks {
-                f(item);
-            }
-            return;
-        }
-        // Stripe chunks round-robin so uneven tails spread across workers.
-        let mut buckets: Vec<Vec<(usize, &'a mut [T])>> =
-            (0..workers).map(|_| Vec::new()).collect();
-        for (i, item) in chunks.into_iter().enumerate() {
-            buckets[i % workers].push(item);
-        }
-        let f = &f;
-        std::thread::scope(|s| {
-            for bucket in buckets {
-                s.spawn(move || {
-                    for item in bucket {
-                        f(item);
-                    }
-                });
-            }
+        let mut items: Vec<Option<(usize, &'a mut [T])>> =
+            self.slice.chunks_mut(self.chunk_size).enumerate().map(Some).collect();
+        let n = items.len();
+        let slots = SlotPtr(items.as_mut_ptr());
+        pool::run(n, self.threads, |i| {
+            // SAFETY: the pool hands out each index exactly once, so the
+            // take through the shared pointer is race-free, and `items`
+            // outlives the `run` call.
+            let item = unsafe { (*slots.slot(i)).take().expect("chunk claimed twice") };
+            f(item);
         });
     }
 }
@@ -137,5 +180,11 @@ mod tests {
     fn join_returns_both() {
         let (a, b) = join(|| 2 + 2, || "ok");
         assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn join_nests() {
+        let (a, (b, c)) = join(|| 1, || join(|| 2, || 3));
+        assert_eq!((a, b, c), (1, 2, 3));
     }
 }

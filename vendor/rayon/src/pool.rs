@@ -1,0 +1,309 @@
+//! Persistent global worker pool.
+//!
+//! `std::thread::scope`-based parallelism (the original shim) pays a full
+//! thread spawn + join per call, which dominates fine-grained workloads
+//! like per-EM-iteration row sweeps and per-batch report sharding. This
+//! module keeps a lazily spawned set of detached worker threads alive for
+//! the process lifetime and feeds them indexed task batches through a
+//! condvar-guarded queue, so repeated parallel calls amortize all spawn
+//! overhead.
+//!
+//! Execution model for [`run`]`(n_tasks, threads, f)`:
+//!
+//! * the **caller participates**: it claims task indices from the shared
+//!   atomic counter exactly like a worker. With `threads = Some(1)` (or on
+//!   a single-core machine) no pool machinery is touched at all — the
+//!   call degrades to a plain sequential `for` loop, which is what makes
+//!   the single-threaded path a true reference implementation;
+//! * up to `threads - 1` pool workers join as helpers; indices are claimed
+//!   via `fetch_add`, so every index runs exactly once on exactly one
+//!   thread;
+//! * nested `run` calls are safe: an inner call self-drains on whatever
+//!   thread it was made from, so workers never block waiting for other
+//!   workers (no circular wait, no work-stealing needed);
+//! * a panicking task is caught (workers must outlive the batch), recorded,
+//!   and re-raised from the calling thread once the batch completes.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Hard cap on pool threads; determinism tests may request more workers
+/// than the machine has cores, so this is a safety bound, not a policy.
+const MAX_WORKERS: usize = 64;
+
+/// Lifetime-erased pointer to the batch closure. Only dereferenced while
+/// the owning [`run`] call is still blocked on batch completion (a worker
+/// touches it strictly between claiming an index `< n` and decrementing
+/// `remaining`, and `run` cannot return while `remaining > 0`).
+#[derive(Clone, Copy)]
+struct TaskRef(*const (dyn Fn(usize) + Sync + 'static));
+// SAFETY: the pointee is `Sync` and the pointer is only dereferenced
+// within the completion window described above.
+unsafe impl Send for TaskRef {}
+unsafe impl Sync for TaskRef {}
+
+/// One indexed task batch: `f(0) … f(n - 1)`.
+struct Batch {
+    task: TaskRef,
+    n: usize,
+    /// Next unclaimed index.
+    next: AtomicUsize,
+    /// Tasks claimed but not yet finished plus tasks unclaimed.
+    remaining: AtomicUsize,
+    /// How many pool helpers may join (the caller is not counted).
+    helpers_wanted: usize,
+    /// How many pool helpers have joined.
+    joined: AtomicUsize,
+    panicked: AtomicBool,
+    done: Mutex<()>,
+    done_cv: Condvar,
+}
+
+impl Batch {
+    /// Whether a pool worker may still usefully join this batch.
+    fn joinable(&self) -> bool {
+        self.next.load(Ordering::Relaxed) < self.n
+            && self.joined.load(Ordering::Relaxed) < self.helpers_wanted
+    }
+}
+
+struct PoolState {
+    /// Active batches with unclaimed work.
+    queue: Mutex<Vec<Arc<Batch>>>,
+    work_cv: Condvar,
+    /// Workers spawned so far (monotone, ≤ [`MAX_WORKERS`]).
+    spawned: AtomicUsize,
+}
+
+fn state() -> &'static PoolState {
+    static STATE: OnceLock<PoolState> = OnceLock::new();
+    STATE.get_or_init(|| PoolState {
+        queue: Mutex::new(Vec::new()),
+        work_cv: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+/// Claims and runs indices from `batch` until none are left, then signals
+/// completion if this thread finished the last task.
+fn execute(batch: &Batch) {
+    loop {
+        let i = batch.next.fetch_add(1, Ordering::Relaxed);
+        if i >= batch.n {
+            break;
+        }
+        // SAFETY: deref only *after* claiming an index < n. Our claimed
+        // task has not decremented `remaining` yet, so the owning `run`
+        // call is still blocked and the closure is alive. (A stale worker
+        // that joined a batch whose caller already returned takes the
+        // `break` above without ever touching the pointer.)
+        let f = unsafe { &*batch.task.0 };
+        if catch_unwind(AssertUnwindSafe(|| f(i))).is_err() {
+            batch.panicked.store(true, Ordering::Relaxed);
+        }
+        // Release pairs with the Acquire load in `run`'s wait loop so the
+        // caller observes every task's side effects.
+        if batch.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = batch.done.lock().unwrap_or_else(|e| e.into_inner());
+            batch.done_cv.notify_all();
+        }
+    }
+}
+
+/// Body of every persistent pool worker: wait for a joinable batch, drain
+/// it, retire it from the queue once its indices are exhausted, repeat.
+fn worker_loop() {
+    let st = state();
+    loop {
+        let batch = {
+            let mut queue = st.queue.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(b) = queue.iter().find(|b| b.joinable()).cloned() {
+                    b.joined.fetch_add(1, Ordering::Relaxed);
+                    break b;
+                }
+                queue = st.work_cv.wait(queue).unwrap_or_else(|e| e.into_inner());
+            }
+        };
+        execute(&batch);
+        let mut queue = st.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = queue.iter().position(|b| Arc::ptr_eq(b, &batch)) {
+            if batch.next.load(Ordering::Relaxed) >= batch.n {
+                queue.remove(pos);
+            }
+        }
+    }
+}
+
+/// Lazily grows the worker set towards `target` threads (never beyond
+/// [`MAX_WORKERS`]). Spawn failure is non-fatal: callers always self-drain.
+fn ensure_workers(st: &'static PoolState, target: usize) {
+    let target = target.min(MAX_WORKERS);
+    loop {
+        let current = st.spawned.load(Ordering::Relaxed);
+        if current >= target {
+            return;
+        }
+        if st
+            .spawned
+            .compare_exchange(current, current + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            let spawned = std::thread::Builder::new()
+                .name(format!("rayon-pool-{current}"))
+                .spawn(worker_loop)
+                .is_ok();
+            if !spawned {
+                st.spawned.fetch_sub(1, Ordering::Relaxed);
+                return;
+            }
+        }
+    }
+}
+
+/// Runs `f(0) … f(n_tasks - 1)` across the calling thread plus up to
+/// `threads - 1` persistent pool workers (`threads` defaults to
+/// [`crate::current_num_threads`]).
+///
+/// Every index runs exactly once; the call returns only after all tasks
+/// have finished, and panics if any task panicked. Task-to-thread
+/// assignment is nondeterministic, so `f` must produce results that do not
+/// depend on which thread ran which index — the sharded-RNG pattern in
+/// `dam-core` exists precisely to guarantee that.
+pub fn run<F>(n_tasks: usize, threads: Option<usize>, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if n_tasks == 0 {
+        return;
+    }
+    let threads = threads.unwrap_or_else(crate::current_num_threads).clamp(1, MAX_WORKERS);
+    let helpers = threads.saturating_sub(1).min(n_tasks.saturating_sub(1));
+    let fref: &(dyn Fn(usize) + Sync) = &f;
+    if helpers == 0 {
+        // Reference sequential path: no queue, no erasure, no catching —
+        // exactly a for loop.
+        for i in 0..n_tasks {
+            fref(i);
+        }
+        return;
+    }
+    let raw: *const (dyn Fn(usize) + Sync) = fref;
+    // SAFETY: lifetime erasure only; the pointer never outlives this call
+    // (see `TaskRef`).
+    let task = TaskRef(unsafe {
+        std::mem::transmute::<*const (dyn Fn(usize) + Sync), *const (dyn Fn(usize) + Sync + 'static)>(
+            raw,
+        )
+    });
+    let batch = Arc::new(Batch {
+        task,
+        n: n_tasks,
+        next: AtomicUsize::new(0),
+        remaining: AtomicUsize::new(n_tasks),
+        helpers_wanted: helpers,
+        joined: AtomicUsize::new(0),
+        panicked: AtomicBool::new(false),
+        done: Mutex::new(()),
+        done_cv: Condvar::new(),
+    });
+    let st = state();
+    {
+        let mut queue = st.queue.lock().unwrap_or_else(|e| e.into_inner());
+        queue.push(batch.clone());
+        ensure_workers(st, helpers);
+        st.work_cv.notify_all();
+    }
+    execute(&batch);
+    {
+        let mut guard = batch.done.lock().unwrap_or_else(|e| e.into_inner());
+        while batch.remaining.load(Ordering::Acquire) > 0 {
+            guard = batch.done_cv.wait(guard).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+    {
+        let mut queue = st.queue.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(pos) = queue.iter().position(|b| Arc::ptr_eq(b, &batch)) {
+            queue.remove(pos);
+        }
+    }
+    if batch.panicked.load(Ordering::Relaxed) {
+        panic!("rayon pool task panicked");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let hits: Vec<AtomicU32> = (0..1003).map(|_| AtomicU32::new(0)).collect();
+        run(hits.len(), Some(8), |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn single_thread_runs_inline_in_order() {
+        let caller = std::thread::current().id();
+        let order = Mutex::new(Vec::new());
+        run(100, Some(1), |i| {
+            assert_eq!(std::thread::current().id(), caller);
+            order.lock().unwrap().push(i);
+        });
+        assert_eq!(*order.lock().unwrap(), (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn helpers_actually_run_on_other_threads() {
+        // With enough slow tasks and 4 requested threads, at least one
+        // task must land off the calling thread.
+        let caller = std::thread::current().id();
+        let thread_ids = Mutex::new(HashSet::new());
+        run(64, Some(4), |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            thread_ids.lock().unwrap().insert(std::thread::current().id());
+        });
+        let ids = thread_ids.lock().unwrap();
+        assert!(ids.contains(&caller), "caller must participate");
+        assert!(ids.len() > 1, "expected helper threads to join");
+    }
+
+    #[test]
+    fn nested_runs_do_not_deadlock() {
+        let total = AtomicUsize::new(0);
+        run(8, Some(4), |_| {
+            run(8, Some(4), |_| {
+                total.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "rayon pool task panicked")]
+    fn task_panic_propagates_to_caller() {
+        run(16, Some(4), |i| {
+            if i == 7 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_batch() {
+        let _ = std::panic::catch_unwind(|| {
+            run(16, Some(4), |_| panic!("boom"));
+        });
+        let count = AtomicUsize::new(0);
+        run(32, Some(4), |_| {
+            count.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 32);
+    }
+}

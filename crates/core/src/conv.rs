@@ -21,18 +21,26 @@
 //! Rows are processed in parallel (`rayon`) when the grid is large enough
 //! for threading to pay off.
 //!
+//! [`FftChannel`] is the *spectral* sibling for the large-radius regime:
+//! the same `δ + far-field` split, but the δ-convolutions are evaluated as
+//! circular convolutions on a zero-padded `next_pow2(d + 2b̂)` grid via
+//! [`crate::fft::Fft2d`], with the kernel spectrum computed **once** at
+//! construction and reused by every EM iteration. That turns the
+//! per-iteration cost from O(n_out·b̂²) into O(n² log n), which wins once
+//! b̂ clears the measured crossover (`EmBackend::Auto` applies the
+//! [`crate::tuning`] cost model; see `BENCH_em.json` for the numbers).
+//!
 //! The dense [`Channel`](dam_fo::em::Channel) remains available as the
-//! reference implementation; property tests assert both operators agree to
-//! ≤ 1e-12 on every kernel family, including the `b̂ = 0` degenerate
-//! randomized-response kernel.
+//! reference implementation; property tests assert the stencil agrees
+//! with it to ≤ 1e-12 and the spectral operator to ≤ 1e-9 on every kernel
+//! family, including the `b̂ = 0` degenerate randomized-response kernel
+//! and non-power-of-two grid sides.
 
+use crate::fft::{spectrum_mul, spectrum_mul_conj, Fft2d};
 use crate::kernel::DiscreteKernel;
-use dam_fo::em::ChannelOp;
+use crate::tuning::PARALLEL_WORK_THRESHOLD;
+use dam_fo::em::{ChannelOp, EmWorkspace};
 use rayon::prelude::*;
-
-/// Below this many multiply-adds per primitive call, row-parallelism costs
-/// more in thread handoff than it saves; run serially.
-const PARALLEL_WORK_THRESHOLD: usize = 1 << 20;
 
 /// A translation-invariant channel stored as a `(2b̂+1)²` stencil plus the
 /// scalar far-field mass — the convolution-structured [`ChannelOp`].
@@ -119,7 +127,7 @@ impl ConvChannel {
 
     #[inline]
     fn stencil_flops(&self) -> usize {
-        self.out_d * self.out_d * self.side * self.side
+        crate::tuning::stencil_flops(self.out_d, self.side)
     }
 }
 
@@ -134,7 +142,7 @@ impl ChannelOp for ConvChannel {
         self.out_d * self.out_d
     }
 
-    fn apply(&self, f: &[f64], out: &mut [f64]) {
+    fn apply(&self, f: &[f64], out: &mut [f64], _ws: &mut EmWorkspace) {
         debug_assert_eq!(f.len(), self.n_in());
         debug_assert_eq!(out.len(), self.n_out());
         let far_term = self.far * f.iter().sum::<f64>();
@@ -149,7 +157,7 @@ impl ChannelOp for ConvChannel {
         }
     }
 
-    fn accumulate_adjoint(&self, w: &[f64], f: &[f64], f_new: &mut [f64]) {
+    fn accumulate_adjoint(&self, w: &[f64], f: &[f64], f_new: &mut [f64], _ws: &mut EmWorkspace) {
         debug_assert_eq!(w.len(), self.n_out());
         debug_assert_eq!(f.len(), self.n_in());
         debug_assert_eq!(f_new.len(), self.n_in());
@@ -163,6 +171,138 @@ impl ChannelOp for ConvChannel {
                 .par_chunks_mut(self.d)
                 .enumerate()
                 .for_each(|(iy, row)| self.adjoint_row(w, f, far_term, iy, row));
+        }
+    }
+}
+
+/// The spectral [`ChannelOp`]: same `δ + far-field` decomposition as
+/// [`ConvChannel`], with the δ-convolutions evaluated in the frequency
+/// domain.
+///
+/// * **E-step** `M·f`: `f` is zero-padded onto the `n × n` grid
+///   (`n = next_pow2(d + 2b̂)`), transformed, multiplied by the cached
+///   kernel spectrum, and inverted; the linear-convolution support
+///   `[0, d + 2b̂)²` fits inside the circular period, so the read-back is
+///   exact. The rank-one far-field term `q̂·Σf` stays closed-form.
+/// * **M-step** `Mᵀw`: the adjoint is a *correlation*, evaluated through
+///   the **conjugate** kernel spectrum — `Σ_s δ[s]·w[t+s]` never wraps
+///   because `t + s ≤ d + 2b̂ - 1 < n` on both axes.
+///
+/// The kernel spectrum is computed **once** here and reused by every EM
+/// iteration; per-call scratch (padded grid, row spectra, half-spectrum)
+/// lives in the [`EmWorkspace`], so steady-state iterations allocate
+/// nothing.
+#[derive(Debug, Clone)]
+pub struct FftChannel {
+    /// Input grid side.
+    d: usize,
+    /// Output grid side (`d + 2b̂`).
+    out_d: usize,
+    /// Far-field mass `q̂`.
+    far: f64,
+    /// Transform plan for the padded grid.
+    fft: Fft2d,
+    /// Half-spectrum of the δ stencil, computed once per channel.
+    kspec: Vec<f64>,
+}
+
+impl FftChannel {
+    /// Builds the spectral operator for a kernel: extracts the δ stencil
+    /// and transforms it once. O(n² log n) setup.
+    pub fn new(kernel: &DiscreteKernel) -> Self {
+        let d = kernel.d() as usize;
+        let out_d = kernel.out_d() as usize;
+        let side = kernel.box_side();
+        let far = kernel.q_hat();
+        let fft = Fft2d::new(out_d);
+        let n = fft.n();
+        let mut pad = vec![0.0f64; fft.real_len()];
+        for (dy, row) in kernel.offset_masses().chunks_exact(side).enumerate() {
+            for (dx, &m) in row.iter().enumerate() {
+                pad[dy * n + dx] = m - far;
+            }
+        }
+        let mut rowspec = vec![0.0f64; fft.rowspec_len()];
+        let mut kspec = vec![0.0f64; fft.spectrum_len()];
+        fft.forward(&pad, &mut rowspec, &mut kspec);
+        Self { d, out_d, far, fft, kspec }
+    }
+
+    /// Padded transform side `n = next_pow2(d + 2b̂)`.
+    #[inline]
+    pub fn padded_n(&self) -> usize {
+        self.fft.n()
+    }
+
+    /// Far-field mass `q̂`.
+    #[inline]
+    pub fn far_mass(&self) -> f64 {
+        self.far
+    }
+
+    /// Zero-pads a `src_d × src_d` field into the workspace's `n × n`
+    /// grid, transforms it, and leaves the half-spectrum in `spec`.
+    fn transform_padded<'w>(
+        &self,
+        src: &[f64],
+        src_d: usize,
+        ws: &'w mut EmWorkspace,
+    ) -> [&'w mut Vec<f64>; 3] {
+        let n = self.fft.n();
+        let [pad, rowspec, spec] =
+            ws.planes([self.fft.real_len(), self.fft.rowspec_len(), self.fft.spectrum_len()]);
+        pad.fill(0.0);
+        for (src_row, pad_row) in src.chunks_exact(src_d).zip(pad.chunks_mut(n)) {
+            pad_row[..src_d].copy_from_slice(src_row);
+        }
+        self.fft.forward(pad, rowspec, spec);
+        [pad, rowspec, spec]
+    }
+}
+
+impl ChannelOp for FftChannel {
+    #[inline]
+    fn n_in(&self) -> usize {
+        self.d * self.d
+    }
+
+    #[inline]
+    fn n_out(&self) -> usize {
+        self.out_d * self.out_d
+    }
+
+    fn apply(&self, f: &[f64], out: &mut [f64], ws: &mut EmWorkspace) {
+        debug_assert_eq!(f.len(), self.n_in());
+        debug_assert_eq!(out.len(), self.n_out());
+        let n = self.fft.n();
+        let far_term = self.far * f.iter().sum::<f64>();
+        let [pad, rowspec, spec] = self.transform_padded(f, self.d, ws);
+        spectrum_mul(spec, &self.kspec);
+        self.fft.inverse(spec, rowspec, pad);
+        for (out_row, pad_row) in out.chunks_exact_mut(self.out_d).zip(pad.chunks_exact(n)) {
+            for (o, &c) in out_row.iter_mut().zip(&pad_row[..self.out_d]) {
+                *o = far_term + c;
+            }
+        }
+    }
+
+    fn accumulate_adjoint(&self, w: &[f64], f: &[f64], f_new: &mut [f64], ws: &mut EmWorkspace) {
+        debug_assert_eq!(w.len(), self.n_out());
+        debug_assert_eq!(f.len(), self.n_in());
+        debug_assert_eq!(f_new.len(), self.n_in());
+        let n = self.fft.n();
+        let far_term = self.far * w.iter().sum::<f64>();
+        let [pad, rowspec, spec] = self.transform_padded(w, self.out_d, ws);
+        spectrum_mul_conj(spec, &self.kspec);
+        self.fft.inverse(spec, rowspec, pad);
+        let d = self.d;
+        for iy in 0..d {
+            let (f_row, pad_row) = (&f[iy * d..(iy + 1) * d], &pad[iy * n..iy * n + d]);
+            for (new, (&fi, &c)) in
+                f_new[iy * d..(iy + 1) * d].iter_mut().zip(f_row.iter().zip(pad_row))
+            {
+                *new = fi * (far_term + c);
+            }
         }
     }
 }
@@ -187,10 +327,11 @@ mod tests {
         let dense = kernel.channel();
         let conv = ConvChannel::new(&kernel);
         let f = random_f(conv.n_in(), 1);
+        let mut ws = EmWorkspace::new();
         let mut out_dense = vec![0.0; conv.n_out()];
         let mut out_conv = vec![0.0; conv.n_out()];
-        dense.apply(&f, &mut out_dense);
-        conv.apply(&f, &mut out_conv);
+        dense.apply(&f, &mut out_dense, &mut ws);
+        conv.apply(&f, &mut out_conv, &mut ws);
         for (o, (a, b)) in out_dense.iter().zip(&out_conv).enumerate() {
             assert!((a - b).abs() < 1e-14, "output {o}: {a} vs {b}");
         }
@@ -206,10 +347,11 @@ mod tests {
         let f = random_f(conv.n_in(), 2);
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let w: Vec<f64> = (0..conv.n_out()).map(|_| rng.gen::<f64>()).collect();
+        let mut ws = EmWorkspace::new();
         let mut a = vec![0.0; conv.n_in()];
         let mut b = vec![0.0; conv.n_in()];
-        dense.accumulate_adjoint(&w, &f, &mut a);
-        conv.accumulate_adjoint(&w, &f, &mut b);
+        dense.accumulate_adjoint(&w, &f, &mut a, &mut ws);
+        conv.accumulate_adjoint(&w, &f, &mut b, &mut ws);
         for i in 0..conv.n_in() {
             assert!((a[i] - b[i]).abs() < 1e-14, "input {i}: {} vs {}", a[i], b[i]);
         }
@@ -222,12 +364,73 @@ mod tests {
         let conv = ConvChannel::new(&kernel);
         assert_eq!(conv.n_out(), conv.n_in(), "no dilation at b̂ = 0");
         let f = random_f(conv.n_in(), 4);
+        let mut ws = EmWorkspace::new();
         let mut out_dense = vec![0.0; conv.n_out()];
         let mut out_conv = vec![0.0; conv.n_out()];
-        dense.apply(&f, &mut out_dense);
-        conv.apply(&f, &mut out_conv);
+        dense.apply(&f, &mut out_dense, &mut ws);
+        conv.apply(&f, &mut out_conv, &mut ws);
         for o in 0..conv.n_out() {
             assert!((out_dense[o] - out_conv[o]).abs() < 1e-14, "output {o}");
+        }
+    }
+
+    #[test]
+    fn fft_channel_matches_stencil_on_all_primitives() {
+        // Non-power-of-two d, so the padded grid (32) strictly contains
+        // the output grid (23) and the wrap-free regions are exercised.
+        let kernel = DiscreteKernel::dam(2.5, 13, 5, KernelKind::Shrunken);
+        let conv = ConvChannel::new(&kernel);
+        let fftc = FftChannel::new(&kernel);
+        assert_eq!(fftc.padded_n(), 32);
+        assert_eq!((conv.n_in(), conv.n_out()), (fftc.n_in(), fftc.n_out()));
+        let mut ws = EmWorkspace::new();
+        let f = random_f(conv.n_in(), 11);
+        let mut a = vec![0.0; conv.n_out()];
+        let mut b = vec![0.0; conv.n_out()];
+        conv.apply(&f, &mut a, &mut ws);
+        fftc.apply(&f, &mut b, &mut ws);
+        for o in 0..conv.n_out() {
+            assert!((a[o] - b[o]).abs() < 1e-12, "apply {o}: {} vs {}", a[o], b[o]);
+        }
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        let w: Vec<f64> = (0..conv.n_out()).map(|_| rng.gen::<f64>()).collect();
+        let mut fa = vec![0.0; conv.n_in()];
+        let mut fb = vec![0.0; conv.n_in()];
+        conv.accumulate_adjoint(&w, &f, &mut fa, &mut ws);
+        fftc.accumulate_adjoint(&w, &f, &mut fb, &mut ws);
+        for i in 0..conv.n_in() {
+            assert!((fa[i] - fb[i]).abs() < 1e-12, "adjoint {i}: {} vs {}", fa[i], fb[i]);
+        }
+    }
+
+    #[test]
+    fn fft_channel_handles_degenerate_zero_radius() {
+        let kernel = DiscreteKernel::dam(5.0, 7, 0, KernelKind::Shrunken);
+        let conv = ConvChannel::new(&kernel);
+        let fftc = FftChannel::new(&kernel);
+        assert_eq!(fftc.n_out(), fftc.n_in(), "no dilation at b̂ = 0");
+        let mut ws = EmWorkspace::new();
+        let f = random_f(conv.n_in(), 5);
+        let mut a = vec![0.0; conv.n_out()];
+        let mut b = vec![0.0; conv.n_out()];
+        conv.apply(&f, &mut a, &mut ws);
+        fftc.apply(&f, &mut b, &mut ws);
+        for o in 0..conv.n_out() {
+            assert!((a[o] - b[o]).abs() < 1e-12, "output {o}");
+        }
+    }
+
+    #[test]
+    fn fft_em_fixpoint_matches_stencil() {
+        let kernel = DiscreteKernel::huem(1.5, 10, 4);
+        let conv = ConvChannel::new(&kernel);
+        let fftc = FftChannel::new(&kernel);
+        let counts: Vec<f64> = (0..conv.n_out()).map(|o| ((o * 11) % 17) as f64).collect();
+        let params = EmParams { max_iters: 60, rel_tol: 0.0 };
+        let fc = expectation_maximization(&conv, &counts, None, params);
+        let ff = expectation_maximization(&fftc, &counts, None, params);
+        for i in 0..conv.n_in() {
+            assert!((fc[i] - ff[i]).abs() < 1e-9, "bin {i}: {} vs {}", fc[i], ff[i]);
         }
     }
 

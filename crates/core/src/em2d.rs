@@ -22,13 +22,59 @@ pub enum PostProcess {
 /// Which [`ChannelOp`] implementation EM runs against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EmBackend {
-    /// The O(n_out·b̂²) stencil operator ([`crate::conv::ConvChannel`]) —
-    /// the default for every SAM-family estimate.
+    /// Pick [`EmBackend::Convolution`] or [`EmBackend::Fft`] from the
+    /// measured `(d, b̂)` cost model in [`crate::tuning`] — the default
+    /// for every SAM-family estimate.
     #[default]
+    Auto,
+    /// The O(n_out·b̂²) stencil operator ([`crate::conv::ConvChannel`]) —
+    /// the small-radius workhorse.
     Convolution,
     /// The O(n_out·n_in) dense matrix — reference implementation, used
-    /// for equivalence tests and dense-vs-conv benchmarks.
+    /// for equivalence tests and backend benchmarks.
     Dense,
+    /// The spectral operator ([`crate::conv::FftChannel`]): O(n² log n)
+    /// per iteration on the zero-padded power-of-two grid — wins the
+    /// large-radius regime (b̂ ≳ 8 at paper-scale grids).
+    Fft,
+}
+
+impl EmBackend {
+    /// Resolves [`EmBackend::Auto`] against the tuning cost model for a
+    /// kernel shape; explicit choices pass through unchanged. Never
+    /// returns `Auto`.
+    pub fn resolve(self, d: u32, b_hat: u32) -> EmBackend {
+        match self {
+            EmBackend::Auto => {
+                if crate::tuning::fft_beats_stencil(d, b_hat) {
+                    EmBackend::Fft
+                } else {
+                    EmBackend::Convolution
+                }
+            }
+            explicit => explicit,
+        }
+    }
+
+    /// Every backend, in CLI-listing order.
+    pub const ALL: [EmBackend; 4] =
+        [EmBackend::Auto, EmBackend::Convolution, EmBackend::Dense, EmBackend::Fft];
+
+    /// CLI label (`--em-backend` value).
+    pub fn label(self) -> &'static str {
+        match self {
+            EmBackend::Auto => "auto",
+            EmBackend::Convolution => "conv",
+            EmBackend::Dense => "dense",
+            EmBackend::Fft => "fft",
+        }
+    }
+
+    /// Inverse of [`EmBackend::label`]; `None` for unknown names. The CLI
+    /// parses through this so the flag can never drift from the enum.
+    pub fn from_label(name: &str) -> Option<EmBackend> {
+        EmBackend::ALL.into_iter().find(|b| b.label() == name)
+    }
 }
 
 /// 3×3 binomial smoothing `[[1,2,1],[2,4,2],[1,2,1]]/16` over a `d × d`
@@ -66,9 +112,9 @@ pub fn smooth_2d(d: usize, f: &mut [f64]) {
 }
 
 /// Runs EM (or EMS) on noisy output-cell counts and returns the estimated
-/// input distribution as a normalized histogram over `input_grid`, using
-/// the convolution-structured operator (never materialises the dense
-/// channel matrix).
+/// input distribution as a normalized histogram over `input_grid`,
+/// auto-selecting the structured operator for the kernel shape (never
+/// materialises the dense channel matrix).
 ///
 /// `noisy_counts` must be row-major over the kernel's output grid
 /// (`out_d²` entries).
@@ -79,11 +125,12 @@ pub fn post_process(
     post: PostProcess,
     params: EmParams,
 ) -> Histogram2D {
-    post_process_with(kernel, noisy_counts, input_grid, post, params, EmBackend::Convolution)
+    post_process_with(kernel, noisy_counts, input_grid, post, params, EmBackend::Auto)
 }
 
 /// [`post_process`] with an explicit [`EmBackend`] — the dense path exists
-/// for A/B comparison and regression tests only.
+/// for A/B comparison and regression tests, `Convolution`/`Fft` pin one
+/// side of the `Auto` crossover.
 pub fn post_process_with(
     kernel: &DiscreteKernel,
     noisy_counts: &[f64],
@@ -96,7 +143,8 @@ pub fn post_process_with(
     assert_eq!(input_grid.d(), kernel.d(), "kernel built for a different grid resolution");
     let conv;
     let dense;
-    let channel: &dyn ChannelOp = match backend {
+    let fft;
+    let channel: &dyn ChannelOp = match backend.resolve(kernel.d(), kernel.b_hat()) {
         EmBackend::Convolution => {
             conv = kernel.conv_channel();
             &conv
@@ -105,6 +153,11 @@ pub fn post_process_with(
             dense = kernel.channel();
             &dense
         }
+        EmBackend::Fft => {
+            fft = kernel.fft_channel();
+            &fft
+        }
+        EmBackend::Auto => unreachable!("resolve never returns Auto"),
     };
     let d = kernel.d() as usize;
     let smoother = move |f: &mut [f64]| smooth_2d(d, f);
@@ -124,6 +177,25 @@ mod tests {
     use crate::response::GridAreaResponse;
     use dam_geo::{BoundingBox, CellIndex};
     use rand::SeedableRng;
+
+    #[test]
+    fn auto_resolves_to_stencil_small_radius_and_fft_large_radius() {
+        // The acceptance anchors: stencil at b̂ = 4, FFT at b̂ = 32.
+        assert_eq!(EmBackend::Auto.resolve(64, 4), EmBackend::Convolution);
+        assert_eq!(EmBackend::Auto.resolve(64, 32), EmBackend::Fft);
+        // Explicit backends pass through untouched.
+        for explicit in [EmBackend::Convolution, EmBackend::Dense, EmBackend::Fft] {
+            assert_eq!(explicit.resolve(64, 32), explicit);
+        }
+    }
+
+    #[test]
+    fn backend_labels_are_cli_values() {
+        assert_eq!(EmBackend::Auto.label(), "auto");
+        assert_eq!(EmBackend::Convolution.label(), "conv");
+        assert_eq!(EmBackend::Dense.label(), "dense");
+        assert_eq!(EmBackend::Fft.label(), "fft");
+    }
 
     #[test]
     fn smoothing_conserves_mass() {

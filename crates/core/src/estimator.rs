@@ -80,8 +80,9 @@ pub struct DamConfig {
     pub post: PostProcess,
     /// EM convergence knobs.
     pub em: EmParams,
-    /// Which EM operator to run PostProcess against (convolution by
-    /// default; dense is the reference path for A/B comparison).
+    /// Which EM operator to run PostProcess against ([`EmBackend::Auto`]
+    /// by default: stencil or FFT from the measured `(d, b̂)` crossover;
+    /// dense is the reference path for A/B comparison).
     pub backend: EmBackend,
     /// Worker threads for the sharded report pipeline (`None` = all
     /// cores). Any value yields bit-identical output — shard layout and
@@ -98,7 +99,7 @@ impl DamConfig {
             b_hat: None,
             post: PostProcess::Em,
             em: EmParams::default(),
-            backend: EmBackend::Convolution,
+            backend: EmBackend::Auto,
             threads: None,
         }
     }
@@ -230,10 +231,10 @@ impl DamAggregator {
         self.n_reports
     }
 
-    /// Runs PostProcess through the convolution operator and returns the
-    /// estimated distribution.
+    /// Runs PostProcess through the auto-selected structured operator and
+    /// returns the estimated distribution.
     pub fn estimate(&self, post: PostProcess, em: EmParams) -> Histogram2D {
-        self.estimate_with(post, em, EmBackend::Convolution)
+        self.estimate_with(post, em, EmBackend::Auto)
     }
 
     /// Runs PostProcess against an explicit [`EmBackend`].

@@ -1,0 +1,499 @@
+//! In-repo iterative real 2-D FFT — the engine behind the spectral EM
+//! backend ([`crate::conv::FftChannel`]).
+//!
+//! # Algorithm
+//!
+//! [`Fft2d`] is a fixed-size plan for power-of-two side `n`: twiddle and
+//! bit-reversal tables are computed once at construction and shared by
+//! every transform, so per-call work is pure butterflies. The complex 1-D
+//! kernel is an in-place iterative radix-2 Cooley–Tukey
+//! (decimation-in-time: bit-reverse permute, then `log₂ n` butterfly
+//! stages); complex values are stored interleaved (`re, im`) in plain
+//! `&[f64]` buffers so callers can park scratch in an
+//! [`dam_fo::em::EmWorkspace`] without a dedicated complex type.
+//!
+//! # Why a *real* FFT halves the work
+//!
+//! Every signal in the EM pipeline (estimate, weights, kernel stencil) is
+//! real, so its spectrum is Hermitian: `S[-k] = conj(S[k])`. The row pass
+//! exploits this twice. First, a length-`n` real transform is computed as
+//! one length-`n/2` *complex* transform of the even/odd interleaving
+//! (`z[j] = x[2j] + i·x[2j+1]`) plus an O(n) untangling step — half the
+//! butterflies of a padded complex transform. Second, only the
+//! `n/2 + 1` non-redundant row frequencies are kept, so the column pass
+//! runs `n/2 + 1` length-`n` transforms instead of `n`. Together the 2-D
+//! transform does half the complex-FFT work, and the spectra it trades in
+//! are half-size, which also halves the per-iteration multiply cost.
+//!
+//! # Padding scheme
+//!
+//! Convolutions are evaluated circularly on a `next_pow2(d + 2b̂)` grid.
+//! The EM primitives need *linear* convolution values on `[0, d + 2b̂)`
+//! per axis (E-step) or `[0, d)` shifted by the kernel anchor (M-step,
+//! evaluated through the conjugate spectrum); in both cases the linear
+//! support fits inside the padded period, so the circular wrap never
+//! contaminates the cells that are read back — equivalence with the
+//! dense operator is exact up to roundoff (tested to ≤ 1e-9).
+//!
+//! # Parallelism and determinism
+//!
+//! All 2-D passes are row-parallel on the persistent worker pool
+//! (`rayon::par_chunks_mut`), gated on [`crate::tuning`]'s measured
+//! work threshold. Each row's arithmetic is independent of which worker
+//! runs it and of the thread count, so transforms are **bit-identical
+//! for any `--threads` value** (asserted by the determinism suite).
+
+use crate::tuning::{next_pow2, PARALLEL_WORK_THRESHOLD};
+use rayon::prelude::*;
+
+/// Precomputed tables for one in-place complex FFT size.
+#[derive(Debug, Clone)]
+struct CfftPlan {
+    /// Transform length (number of complex samples); power of two.
+    n: usize,
+    /// Bit-reversal permutation, `rev[i] < n`.
+    rev: Vec<u32>,
+    /// Forward twiddles `e^{-2πik/n}` for `k ∈ [0, n/2)`, interleaved.
+    tw: Vec<f64>,
+}
+
+impl CfftPlan {
+    fn new(n: usize) -> Self {
+        debug_assert!(n.is_power_of_two());
+        let bits = n.trailing_zeros();
+        let rev = (0..n as u32)
+            .map(|i| if bits == 0 { 0 } else { i.reverse_bits() >> (32 - bits) })
+            .collect();
+        let mut tw = Vec::with_capacity(n.max(2));
+        for k in 0..(n / 2).max(1) {
+            let angle = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            tw.push(angle.cos());
+            tw.push(angle.sin());
+        }
+        Self { n, rev, tw }
+    }
+
+    /// In-place complex FFT of `data` (`2n` floats, interleaved).
+    /// `inverse` conjugates the twiddles but does **not** scale — callers
+    /// fold the `1/n` factors into their final pass exactly once.
+    fn transform(&self, data: &mut [f64], inverse: bool) {
+        let n = self.n;
+        debug_assert_eq!(data.len(), 2 * n);
+        for i in 0..n {
+            let j = self.rev[i] as usize;
+            if i < j {
+                data.swap(2 * i, 2 * j);
+                data.swap(2 * i + 1, 2 * j + 1);
+            }
+        }
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let step = n / len;
+            for start in (0..n).step_by(len) {
+                for j in 0..half {
+                    let (wr, wi) = {
+                        let k = 2 * j * step;
+                        let (re, im) = (self.tw[k], self.tw[k + 1]);
+                        if inverse {
+                            (re, -im)
+                        } else {
+                            (re, im)
+                        }
+                    };
+                    let a = 2 * (start + j);
+                    let b = 2 * (start + j + half);
+                    let (br, bi) = (data[b], data[b + 1]);
+                    let tr = wr * br - wi * bi;
+                    let ti = wr * bi + wi * br;
+                    data[b] = data[a] - tr;
+                    data[b + 1] = data[a + 1] - ti;
+                    data[a] += tr;
+                    data[a + 1] += ti;
+                }
+            }
+            len <<= 1;
+        }
+    }
+}
+
+/// A reusable plan for real 2-D FFTs on an `n × n` power-of-two grid.
+///
+/// Spectra use the *transposed half-spectrum* layout: `half + 1` rows
+/// (row-frequency index `kx ∈ [0, n/2]`), each holding `n` interleaved
+/// complex values over the column-frequency index. The transposition is
+/// what lets every pass — row transforms, column transforms, and the
+/// gather/scatter between them — run as contiguous row-parallel sweeps.
+#[derive(Debug, Clone)]
+pub struct Fft2d {
+    n: usize,
+    half: usize,
+    /// Column-pass complex FFT (size `n`).
+    full: CfftPlan,
+    /// Row-pass complex FFT (size `n/2`, the real-FFT split).
+    halfplan: CfftPlan,
+    /// Untangle twiddles `e^{-2πik/n}` for `k ∈ [0, n/2]`, interleaved.
+    unt: Vec<f64>,
+    /// Row-parallel passes only when a sweep clears the measured
+    /// pool-handoff threshold.
+    parallel: bool,
+}
+
+impl Fft2d {
+    /// Plans transforms for the smallest power-of-two grid with side
+    /// ≥ `min_side` (at least 2).
+    pub fn new(min_side: usize) -> Self {
+        let n = next_pow2(min_side);
+        let half = n / 2;
+        let mut unt = Vec::with_capacity(2 * (half + 1));
+        for k in 0..=half {
+            let angle = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            unt.push(angle.cos());
+            unt.push(angle.sin());
+        }
+        // Gate on the *calibrated* per-primitive cost in stencil-MAC
+        // units (butterflies are ~4× a contiguous MAC), so the FFT
+        // engages the pool at exactly the work level the stencil does:
+        // serial through n = 64, parallel from n = 128 up — the whole
+        // regime `EmBackend::Auto` routes here.
+        let parallel = crate::tuning::fft_equivalent_flops(n) >= PARALLEL_WORK_THRESHOLD;
+        Self { n, half, full: CfftPlan::new(n), halfplan: CfftPlan::new(half), unt, parallel }
+    }
+
+    /// Padded grid side.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Whether 2-D passes hand rows to the persistent worker pool
+    /// (transform results are bit-identical either way; exposed so tests
+    /// can pin which path they exercise).
+    #[inline]
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
+    }
+
+    /// Floats in a real `n × n` buffer.
+    #[inline]
+    pub fn real_len(&self) -> usize {
+        self.n * self.n
+    }
+
+    /// Floats in the intermediate row-spectrum buffer
+    /// (`n` rows × `half + 1` complex).
+    #[inline]
+    pub fn rowspec_len(&self) -> usize {
+        self.n * (self.half + 1) * 2
+    }
+
+    /// Floats in a transposed half-spectrum (`half + 1` rows × `n`
+    /// complex).
+    #[inline]
+    pub fn spectrum_len(&self) -> usize {
+        (self.half + 1) * self.n * 2
+    }
+
+    /// Applies `f(row_index, row)` to every `row_len`-chunk of `buf`,
+    /// in parallel when the plan is large enough to pay for it.
+    fn rows(&self, buf: &mut [f64], row_len: usize, f: impl Fn(usize, &mut [f64]) + Sync) {
+        if self.parallel {
+            buf.par_chunks_mut(row_len).enumerate().for_each(|(i, row)| f(i, row));
+        } else {
+            for (i, row) in buf.chunks_mut(row_len).enumerate() {
+                f(i, row);
+            }
+        }
+    }
+
+    /// Real FFT of one length-`n` row: `src` holds `n` reals, `dst`
+    /// receives `half + 1` interleaved complex frequencies.
+    fn rfft_row(&self, src: &[f64], dst: &mut [f64]) {
+        let (n, h) = (self.n, self.half);
+        debug_assert_eq!(src.len(), n);
+        debug_assert_eq!(dst.len(), 2 * (h + 1));
+        // Even/odd interleave is exactly the memory layout of `src`
+        // reinterpreted as h complex numbers.
+        dst[..n].copy_from_slice(src);
+        self.halfplan.transform(&mut dst[..n], false);
+        // Untangle Z (length h) into the real spectrum X (length h + 1):
+        // X[k] = A - i·w·B with A = (Z[k] + conj(Z[h-k]))/2,
+        // B = (Z[k] - conj(Z[h-k]))/2, w = e^{-2πik/n}; Z[h] ≡ Z[0].
+        let (z0r, z0i) = (dst[0], dst[1]);
+        dst[0] = z0r + z0i;
+        dst[1] = 0.0;
+        dst[2 * h] = z0r - z0i;
+        dst[2 * h + 1] = 0.0;
+        let mut k = 1;
+        while 2 * k <= h {
+            let j = h - k;
+            let (zkr, zki) = (dst[2 * k], dst[2 * k + 1]);
+            let (zjr, zji) = (dst[2 * j], dst[2 * j + 1]);
+            let (ar, ai) = ((zkr + zjr) / 2.0, (zki - zji) / 2.0);
+            let (br, bi) = ((zkr - zjr) / 2.0, (zki + zji) / 2.0);
+            let (wr, wi) = (self.unt[2 * k], self.unt[2 * k + 1]);
+            // -i·w·B = (wi·br + wr·bi) - i·... expanded directly:
+            let (twr, twi) = (wr * br - wi * bi, wr * bi + wi * br);
+            dst[2 * k] = ar + twi;
+            dst[2 * k + 1] = ai - twr;
+            // X[h-k] follows from the same pair with conjugated roles.
+            let (wjr, wji) = (-wr, wi); // w' = e^{-2πi(h-k)/n} = -conj(w)
+            let (bjr, bji) = (-br, bi); // B' = -conj(B)
+            let (tjr, tji) = (wjr * bjr - wji * bji, wjr * bji + wji * bjr);
+            dst[2 * j] = ar + tji;
+            dst[2 * j + 1] = -ai - tjr;
+            k += 1;
+        }
+    }
+
+    /// Inverse of [`Self::rfft_row`], in place and unscaled by design:
+    /// `row` holds `half + 1` interleaved complex frequencies on entry;
+    /// on return `row[..n]` holds the `n` reals carrying an extra factor
+    /// `n/2` (callers fold the scale into their final copy).
+    fn irfft_row_unscaled(&self, row: &mut [f64]) {
+        let (n, h) = (self.n, self.half);
+        debug_assert_eq!(row.len(), 2 * (h + 1));
+        // Retangle X (length h + 1) back into Z (length h), inverting the
+        // forward split: with A = (X[k] + conj(X[h-k]))/2 and
+        // D = (X[k] - conj(X[h-k]))/2,
+        //   Z[k]   = A + i·conj(w)·D          (w = e^{-2πik/n}),
+        //   Z[h-k] = conj(A) - conj(i·conj(w)·D).
+        let (x0r, x0i) = (row[0], row[1]);
+        let (xhr, xhi) = (row[2 * h], row[2 * h + 1]);
+        // k = 0: w = 1, so Z[0] = A + i·D directly.
+        let (ar, ai) = ((x0r + xhr) / 2.0, (x0i - xhi) / 2.0);
+        let (dr, di) = ((x0r - xhr) / 2.0, (x0i + xhi) / 2.0);
+        row[0] = ar - di;
+        row[1] = ai + dr;
+        let mut k = 1;
+        while 2 * k <= h {
+            let j = h - k;
+            let (xkr, xki) = (row[2 * k], row[2 * k + 1]);
+            let (xjr, xji) = (row[2 * j], row[2 * j + 1]);
+            let (ar, ai) = ((xkr + xjr) / 2.0, (xki - xji) / 2.0);
+            let (dr, di) = ((xkr - xjr) / 2.0, (xki + xji) / 2.0);
+            let (wr, wi) = (self.unt[2 * k], self.unt[2 * k + 1]);
+            // c = conj(w)·D; then i·c = (-c.im, c.re).
+            let (cr, ci) = (wr * dr + wi * di, wr * di - wi * dr);
+            row[2 * k] = ar - ci;
+            row[2 * k + 1] = ai + cr;
+            if j != k {
+                row[2 * j] = ar + ci;
+                row[2 * j + 1] = cr - ai;
+            }
+            k += 1;
+        }
+        self.halfplan.transform(&mut row[..n], true);
+    }
+
+    /// Forward real 2-D FFT: `src` (`n²` reals, row-major) →
+    /// transposed half-spectrum `spec`. `rowspec` is scratch.
+    pub fn forward(&self, src: &[f64], rowspec: &mut [f64], spec: &mut [f64]) {
+        let (n, h) = (self.n, self.half);
+        debug_assert_eq!(src.len(), self.real_len());
+        debug_assert_eq!(rowspec.len(), self.rowspec_len());
+        debug_assert_eq!(spec.len(), self.spectrum_len());
+        let rw = 2 * (h + 1);
+        self.rows(rowspec, rw, |y, dst| self.rfft_row(&src[y * n..(y + 1) * n], dst));
+        let rowspec = &*rowspec;
+        self.rows(spec, 2 * n, |kx, col| {
+            for y in 0..n {
+                col[2 * y] = rowspec[y * rw + 2 * kx];
+                col[2 * y + 1] = rowspec[y * rw + 2 * kx + 1];
+            }
+            self.full.transform(col, false);
+        });
+    }
+
+    /// Inverse of [`Self::forward`]: transposed half-spectrum `spec`
+    /// (destroyed) → `dst` (`n²` reals). `rowspec` is scratch.
+    pub fn inverse(&self, spec: &mut [f64], rowspec: &mut [f64], dst: &mut [f64]) {
+        let (n, h) = (self.n, self.half);
+        debug_assert_eq!(spec.len(), self.spectrum_len());
+        debug_assert_eq!(rowspec.len(), self.rowspec_len());
+        debug_assert_eq!(dst.len(), self.real_len());
+        let rw = 2 * (h + 1);
+        self.rows(spec, 2 * n, |_, col| self.full.transform(col, true));
+        let spec_r = &*spec;
+        // Gather each row's half-spectrum back, retangle, and invert the
+        // row transform — all inside one contiguous parallel sweep. The
+        // row inverse is in place, so `rowspec[y][..n]` ends up holding
+        // the (still unscaled) real row.
+        self.rows(rowspec, rw, |y, row| {
+            for kx in 0..=h {
+                row[2 * kx] = spec_r[kx * 2 * n + 2 * y];
+                row[2 * kx + 1] = spec_r[kx * 2 * n + 2 * y + 1];
+            }
+            self.irfft_row_unscaled(row);
+        });
+        // Unscaled column + row inverses leave a factor n·(n/2).
+        let scale = 2.0 / (n * n) as f64;
+        let rowspec_r = &*rowspec;
+        self.rows(dst, n, |y, out_row| {
+            for (o, &v) in out_row.iter_mut().zip(&rowspec_r[y * rw..y * rw + n]) {
+                *o = v * scale;
+            }
+        });
+    }
+}
+
+/// Pointwise half-spectrum product `a ⊙ b` into `a` (convolution
+/// theorem).
+pub fn spectrum_mul(a: &mut [f64], b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (pa, pb) in a.chunks_exact_mut(2).zip(b.chunks_exact(2)) {
+        let (ar, ai) = (pa[0], pa[1]);
+        pa[0] = ar * pb[0] - ai * pb[1];
+        pa[1] = ar * pb[1] + ai * pb[0];
+    }
+}
+
+/// Pointwise half-spectrum product `a ⊙ conj(b)` into `a` (correlation
+/// theorem — the adjoint's M-step direction).
+pub fn spectrum_mul_conj(a: &mut [f64], b: &[f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (pa, pb) in a.chunks_exact_mut(2).zip(b.chunks_exact(2)) {
+        let (ar, ai) = (pa[0], pa[1]);
+        pa[0] = ar * pb[0] + ai * pb[1];
+        pa[1] = ai * pb[0] - ar * pb[1];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn random_grid(n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        (0..n * n).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect()
+    }
+
+    /// Direct O(n⁴) 2-D DFT for cross-checking, returning the transposed
+    /// half-spectrum layout.
+    fn dft2_reference(src: &[f64], n: usize) -> Vec<f64> {
+        let h = n / 2;
+        let mut spec = vec![0.0; (h + 1) * n * 2];
+        for kx in 0..=h {
+            for ky in 0..n {
+                let (mut re, mut im) = (0.0f64, 0.0f64);
+                for y in 0..n {
+                    for x in 0..n {
+                        let angle =
+                            -2.0 * std::f64::consts::PI * ((kx * x) as f64 + (ky * y) as f64)
+                                / n as f64;
+                        re += src[y * n + x] * angle.cos();
+                        im += src[y * n + x] * angle.sin();
+                    }
+                }
+                spec[kx * 2 * n + 2 * ky] = re;
+                spec[kx * 2 * n + 2 * ky + 1] = im;
+            }
+        }
+        spec
+    }
+
+    fn run_forward(plan: &Fft2d, src: &[f64]) -> Vec<f64> {
+        let mut rowspec = vec![0.0; plan.rowspec_len()];
+        let mut spec = vec![0.0; plan.spectrum_len()];
+        plan.forward(src, &mut rowspec, &mut spec);
+        spec
+    }
+
+    #[test]
+    fn forward_matches_direct_dft() {
+        for n in [2usize, 4, 8, 16] {
+            let plan = Fft2d::new(n);
+            assert_eq!(plan.n(), n);
+            let src = random_grid(n, 7 + n as u64);
+            let spec = run_forward(&plan, &src);
+            let want = dft2_reference(&src, n);
+            for (i, (a, b)) in spec.iter().zip(&want).enumerate() {
+                assert!((a - b).abs() < 1e-9 * (n * n) as f64, "n {n} slot {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        for n in [2usize, 4, 8, 32, 64] {
+            let plan = Fft2d::new(n);
+            let src = random_grid(n, 40 + n as u64);
+            let mut spec = run_forward(&plan, &src);
+            let mut rowspec = vec![0.0; plan.rowspec_len()];
+            let mut back = vec![0.0; plan.real_len()];
+            plan.inverse(&mut spec, &mut rowspec, &mut back);
+            for (i, (a, b)) in back.iter().zip(&src).enumerate() {
+                assert!((a - b).abs() < 1e-12, "n {n} cell {i}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_product_is_circular_convolution() {
+        let n = 8;
+        let plan = Fft2d::new(n);
+        let a = random_grid(n, 1);
+        let b = random_grid(n, 2);
+        // Direct circular convolution.
+        let mut want = vec![0.0f64; n * n];
+        for y in 0..n {
+            for x in 0..n {
+                let mut s = 0.0;
+                for v in 0..n {
+                    for u in 0..n {
+                        s += a[v * n + u] * b[((y + n - v) % n) * n + (x + n - u) % n];
+                    }
+                }
+                want[y * n + x] = s;
+            }
+        }
+        let mut sa = run_forward(&plan, &a);
+        let sb = run_forward(&plan, &b);
+        spectrum_mul(&mut sa, &sb);
+        let mut rowspec = vec![0.0; plan.rowspec_len()];
+        let mut got = vec![0.0; plan.real_len()];
+        plan.inverse(&mut sa, &mut rowspec, &mut got);
+        for i in 0..n * n {
+            assert!((got[i] - want[i]).abs() < 1e-10, "cell {i}: {} vs {}", got[i], want[i]);
+        }
+    }
+
+    #[test]
+    fn conjugate_product_is_circular_correlation() {
+        let n = 8;
+        let plan = Fft2d::new(n);
+        let w = random_grid(n, 3);
+        let k = random_grid(n, 4);
+        // corr[t] = Σ_s k[s]·w[(t+s) mod n] per axis.
+        let mut want = vec![0.0f64; n * n];
+        for ty in 0..n {
+            for tx in 0..n {
+                let mut s = 0.0;
+                for sy in 0..n {
+                    for sx in 0..n {
+                        s += k[sy * n + sx] * w[((ty + sy) % n) * n + (tx + sx) % n];
+                    }
+                }
+                want[ty * n + tx] = s;
+            }
+        }
+        let mut sw = run_forward(&plan, &w);
+        let sk = run_forward(&plan, &k);
+        spectrum_mul_conj(&mut sw, &sk);
+        let mut rowspec = vec![0.0; plan.rowspec_len()];
+        let mut got = vec![0.0; plan.real_len()];
+        plan.inverse(&mut sw, &mut rowspec, &mut got);
+        for i in 0..n * n {
+            assert!((got[i] - want[i]).abs() < 1e-10, "cell {i}: {} vs {}", got[i], want[i]);
+        }
+    }
+
+    #[test]
+    fn non_pow2_request_rounds_up() {
+        let plan = Fft2d::new(23);
+        assert_eq!(plan.n(), 32);
+        let plan = Fft2d::new(1);
+        assert_eq!(plan.n(), 2, "real split needs an even length");
+    }
+}

@@ -18,7 +18,7 @@
 //! Every kernel is a valid probability distribution over output cells and
 //! satisfies the ε-LDP mass-ratio bound for all input pairs (tested).
 
-use crate::conv::ConvChannel;
+use crate::conv::{ConvChannel, FftChannel};
 use crate::grid::{DiskGeometry, KernelKind};
 use dam_fo::em::Channel;
 use dam_geo::{CellIndex, Grid2D};
@@ -250,11 +250,20 @@ impl DiscreteKernel {
     }
 
     /// The convolution-structured EM operator: O(b̂²) storage and
-    /// O(n_out·b̂²) work per EM iteration. This is the default
-    /// post-processing path; [`DiscreteKernel::channel`] is the dense
-    /// reference it is tested against.
+    /// O(n_out·b̂²) work per EM iteration — the small-radius PostProcess
+    /// path; [`DiscreteKernel::channel`] is the dense reference it is
+    /// tested against.
     pub fn conv_channel(&self) -> ConvChannel {
         ConvChannel::new(self)
+    }
+
+    /// The spectral EM operator: the same translation-invariant structure
+    /// evaluated as circular convolutions on a zero-padded
+    /// `next_pow2(d + 2b̂)` grid, O(n² log n) per EM iteration with the
+    /// kernel spectrum computed once. Wins the large-radius regime
+    /// (`EmBackend::Auto` switches over at the measured crossover).
+    pub fn fft_channel(&self) -> FftChannel {
+        FftChannel::new(self)
     }
 
     /// The full `n_out × n_in` dense channel matrix — O(n_out·n_in)

@@ -17,16 +17,24 @@
 //!   ablation kernel, and the ring-discretised HUEM of Appendix A;
 //! * [`response`] — `GridAreaResponse` (Algorithm 2): O(1) per-user
 //!   sampling of a noisy output cell;
-//! * [`conv`] — the convolution-structured EM operator
-//!   ([`conv::ConvChannel`]): the kernel's translation invariance turned
-//!   into an O(b̂²)-storage stencil + far-field operator, making every
-//!   EM iteration O(n_out·b̂²) instead of the dense O(n_out·n_in)
-//!   (measured 12–14× faster at `d = 32, b̂ = 4`; the committed
-//!   `BENCH_em.json` records the exact baseline), and opening grids
-//!   (d ≥ 64) whose dense channel matrix would not fit;
+//! * [`conv`] — the structured EM operators built on the kernel's
+//!   translation invariance: the O(b̂²)-storage stencil
+//!   ([`conv::ConvChannel`], O(n_out·b̂²) per EM iteration; measured
+//!   12–14× over dense at `d = 32, b̂ = 4`) and the spectral
+//!   [`conv::FftChannel`] (circular convolutions on a zero-padded
+//!   power-of-two grid, O(n² log n) per iteration with the kernel
+//!   spectrum cached), both opening grids (d ≥ 64) whose dense channel
+//!   matrix would not fit — the committed `BENCH_em.json` records the
+//!   exact baselines and the stencil↔FFT crossover;
+//! * [`fft`] — the in-repo iterative real 2-D FFT ([`fft::Fft2d`]):
+//!   precomputed twiddle/bit-reversal plans, row-parallel passes on the
+//!   persistent pool, bit-identical for any thread count;
+//! * [`tuning`] — measured performance constants shared by the stencil,
+//!   FFT and sharding paths, including the cost model behind
+//!   [`em2d::EmBackend::Auto`];
 //! * [`em2d`] — the EM/EMS "PostProcess" step on the 2-D grid, running on
-//!   the convolution operator by default ([`em2d::EmBackend`] selects the
-//!   dense reference path for A/B tests);
+//!   the auto-selected structured operator by default
+//!   ([`em2d::EmBackend`] pins the stencil/FFT/dense paths explicitly);
 //! * [`estimator`] — the end-to-end pipeline (Algorithm 1) packaged as the
 //!   [`estimator::SpatialEstimator`] trait implemented by every mechanism
 //!   in the workspace, plus the client/aggregator split
@@ -36,18 +44,21 @@
 pub mod conv;
 pub mod em2d;
 pub mod estimator;
+pub mod fft;
 pub mod grid;
 pub mod kernel;
 pub mod radius;
 pub mod response;
 pub mod sam;
 pub mod shard;
+pub mod tuning;
 
-pub use conv::ConvChannel;
+pub use conv::{ConvChannel, FftChannel};
 pub use em2d::{EmBackend, PostProcess};
 pub use estimator::{
     DamAggregator, DamClient, DamConfig, DamEstimator, SamVariant, SpatialEstimator,
 };
+pub use fft::Fft2d;
 pub use grid::{CellClass, DiskGeometry, KernelKind};
 pub use kernel::DiscreteKernel;
 pub use radius::{mutual_information_bound, optimal_b};

@@ -5,7 +5,7 @@
 //! reference.
 
 use dam_core::shard::{n_shards, shard_range, sharded_accumulate, SHARD_SIZE};
-use dam_core::{DamClient, DamConfig, DamEstimator, SamVariant, SpatialEstimator};
+use dam_core::{DamClient, DamConfig, DamEstimator, EmBackend, SamVariant, SpatialEstimator};
 use dam_geo::rng::shard_rng;
 use dam_geo::{BoundingBox, Grid2D, Point};
 use proptest::prelude::*;
@@ -43,6 +43,49 @@ fn estimate_is_bit_identical_for_any_thread_count_all_sam_variants() {
             );
         }
     }
+}
+
+#[test]
+fn fft_backend_estimate_is_bit_identical_for_any_thread_count() {
+    // The spectral backend's row-parallel FFT passes assign whole rows to
+    // pool workers; each row's arithmetic is independent of the worker
+    // that runs it, so — like the stencil — the estimate must be
+    // bit-identical for any thread count. b̂ = 16 on a d = 48 grid pads
+    // to a 128×128 transform — large enough that the plan really hands
+    // rows to the pool (pinned below), so this covers the parallel
+    // sweeps, not just the serial fallback.
+    assert!(
+        dam_core::Fft2d::new(48 + 2 * 16).is_parallel(),
+        "test shape must engage the row-parallel FFT path"
+    );
+    let grid = Grid2D::new(BoundingBox::unit(), 48);
+    let points = span_points(SHARD_SIZE + 777);
+    // Bounded, tolerance-free EM: every run walks the same 25 iterations.
+    let em = dam_fo::em::EmParams { max_iters: 25, rel_tol: 0.0 };
+    let estimate_with = |threads: Option<usize>| {
+        let config =
+            DamConfig { b_hat: Some(16), em, backend: EmBackend::Fft, ..DamConfig::dam(2.0) }
+                .with_threads(threads);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4321);
+        DamEstimator::new(config).estimate(&points, &grid, &mut rng)
+    };
+    let sequential = estimate_with(Some(1));
+    for threads in [Some(2), Some(8), None] {
+        let parallel = estimate_with(threads);
+        assert_eq!(
+            bits(sequential.values()),
+            bits(parallel.values()),
+            "FFT backend with threads {threads:?} must match the sequential path bit-for-bit"
+        );
+    }
+    // The auto-resolved backend rides the same machinery: whatever Auto
+    // picks must also be thread-count independent.
+    let auto = |threads: Option<usize>| {
+        let config = DamConfig { b_hat: Some(16), em, ..DamConfig::dam(2.0) }.with_threads(threads);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4321);
+        DamEstimator::new(config).estimate(&points, &grid, &mut rng)
+    };
+    assert_eq!(bits(auto(Some(1)).values()), bits(auto(None).values()));
 }
 
 #[test]

@@ -1,0 +1,85 @@
+//! Large-radius regime: DAM at a fine grid (d = 64, ε = 5) with explicit
+//! disk radii b̂ ∈ {4, 8, 16, 32} — the regime the spectral EM backend
+//! exists for. For every radius the full pipeline (sharded reports + EM
+//! PostProcess) runs once per requested backend on **identical noisy
+//! reports**, so the table isolates the backend choice: the estimates
+//! agree to FFT roundoff (column `tv_vs_auto`), while the EM wall time
+//! shows the stencil↔FFT crossover end to end. `auto` additionally
+//! reports which operator the cost model resolved to.
+//!
+//! Expected shape: `conv` time grows ~b̂², `fft` time stays ~flat in b̂
+//! (the padded transform only doubles when `d + 2b̂` crosses a power of
+//! two), and `auto` tracks the faster of the two at every radius.
+
+use dam_core::{DamConfig, DamEstimator, EmBackend, SpatialEstimator};
+use dam_data::DatasetKind;
+use dam_eval::report::fmt4;
+use dam_eval::{CliArgs, EvalContext, Report};
+use dam_fo::em::EmParams;
+use dam_geo::rng::derived;
+use dam_geo::{Grid2D, Histogram2D};
+
+const D: u32 = 64;
+const EPS: f64 = 5.0;
+
+fn main() {
+    let args = CliArgs::parse();
+    let ctx = EvalContext::from_args(&args);
+    let radii: &[u32] = if args.fast { &[4, 16, 32] } else { &[4, 8, 16, 32] };
+    let em = EmParams { max_iters: if args.fast { 40 } else { 150 }, rel_tol: 0.0 };
+
+    let ds = ctx.dataset(DatasetKind::Normal);
+    let part = &ds.parts[0];
+    let points = ctx.capped_points(part);
+    let grid = Grid2D::new(part.bbox, D);
+    let truth = Histogram2D::from_points(grid.clone(), points).normalized();
+
+    let mut report = Report::new(
+        &format!(
+            "Large-radius DAM (Normal, d={D}, eps={EPS}, {} users, {} EM iters)",
+            points.len(),
+            em.max_iters
+        ),
+        &["b_hat", "backend", "resolved", "secs", "tv_error", "tv_vs_auto"],
+    );
+    for &b_hat in radii {
+        // The stencil at b̂ ≥ 16 is exactly the regime the FFT replaces;
+        // keep the smoke fast by skipping what would dominate its wall
+        // clock (the explicit `fft`/`auto` rows still cover the regime).
+        let backends: &[EmBackend] = if args.fast && b_hat >= 16 {
+            &[EmBackend::Auto, EmBackend::Fft]
+        } else {
+            &[EmBackend::Auto, EmBackend::Convolution, EmBackend::Fft]
+        };
+        let mut auto_est: Option<Histogram2D> = None;
+        for &backend in backends {
+            let config = DamConfig { b_hat: Some(b_hat), em, backend, ..DamConfig::dam(EPS) }
+                .with_threads(ctx.threads);
+            // Same stream per radius: every backend sees identical
+            // reports, so rows differ only in the EM operator.
+            let mut rng = derived(ctx.seed, 0x1A56_E000 + u64::from(b_hat));
+            let start = std::time::Instant::now();
+            let est = DamEstimator::new(config).estimate(points, &grid, &mut rng);
+            let secs = start.elapsed().as_secs_f64();
+            let tv = est.tv_distance(&truth);
+            let tv_vs_auto = auto_est
+                .as_ref()
+                .map(|a| fmt4(est.tv_distance(a)))
+                .unwrap_or_else(|| "-".to_string());
+            if backend == EmBackend::Auto {
+                auto_est = Some(est);
+            }
+            report.push_row(vec![
+                b_hat.to_string(),
+                backend.label().to_string(),
+                backend.resolve(D, b_hat).label().to_string(),
+                format!("{secs:.3}"),
+                fmt4(tv),
+                tv_vs_auto,
+            ]);
+        }
+    }
+    println!("{}", report.render());
+    let path = report.write_csv(&args.out, "fig_large_radius").expect("write csv");
+    println!("csv: {}", path.display());
+}

@@ -23,10 +23,7 @@ fn main() {
     let d = 16; // power of two so HIO's quadtree bottoms out at cells
     let ds = ctx.dataset(DatasetKind::Crime);
     let part = &ds.parts[1];
-    let points: &[dam_geo::Point] = match ctx.user_cap {
-        Some(cap) if part.points.len() > cap => &part.points[..cap],
-        _ => &part.points,
-    };
+    let points = ctx.capped_points(part);
     let grid = Grid2D::new(part.bbox, d);
     eprintln!("{} points, grid {d}x{d}, eps = {eps}", points.len());
 

@@ -1,6 +1,7 @@
 //! Minimal command-line parsing shared by every figure binary (no external
 //! dependency; flags documented in the crate docs).
 
+use dam_core::EmBackend;
 use std::path::PathBuf;
 
 /// Parsed command-line options.
@@ -22,9 +23,11 @@ pub struct CliArgs {
     pub fast: bool,
     /// Skip the Local-Privacy calibration for SEM-Geo-I.
     pub no_calib: bool,
-    /// Run EM against the dense reference channel instead of the
-    /// convolution operator (A/B comparison; much slower at large d).
-    pub dense_em: bool,
+    /// EM operator for SAM-family PostProcess (`--em-backend
+    /// {auto,conv,dense,fft}`; `--dense-em` is kept as an alias for
+    /// `--em-backend dense`). `Auto` picks stencil vs FFT from the
+    /// measured crossover.
+    pub em_backend: EmBackend,
     /// Worker threads for the job runner and the sharded report pipeline
     /// (default: available parallelism). Results are bit-identical for
     /// any value — this is a wall-clock knob, not a semantics knob.
@@ -41,7 +44,7 @@ impl Default for CliArgs {
             out: PathBuf::from("results"),
             fast: false,
             no_calib: false,
-            dense_em: false,
+            em_backend: EmBackend::Auto,
             threads: None,
         }
     }
@@ -68,7 +71,14 @@ impl CliArgs {
                 "--out" => out.out = PathBuf::from(value("--out")),
                 "--fast" => out.fast = true,
                 "--no-calib" => out.no_calib = true,
-                "--dense-em" => out.dense_em = true,
+                "--dense-em" => out.em_backend = EmBackend::Dense,
+                "--em-backend" => {
+                    let name = value("--em-backend");
+                    out.em_backend = EmBackend::from_label(&name).unwrap_or_else(|| {
+                        let known: Vec<_> = EmBackend::ALL.iter().map(|b| b.label()).collect();
+                        panic!("bad --em-backend {name}; known: {}", known.join(" "))
+                    });
+                }
                 "--threads" => {
                     let n: usize = value("--threads").parse().expect("bad --threads");
                     assert!(n >= 1, "--threads must be at least 1");
@@ -76,7 +86,7 @@ impl CliArgs {
                 }
                 other => panic!(
                     "unknown flag {other}; known: --repeats --users --seed --out --fast \
-                     --no-calib --dense-em --threads"
+                     --no-calib --em-backend --dense-em --threads"
                 ),
             }
         }
@@ -117,8 +127,27 @@ mod tests {
         assert_eq!(a.seed, 42);
         assert!(a.users.is_none());
         assert!(!a.fast);
-        assert!(!a.dense_em);
+        assert_eq!(a.em_backend, EmBackend::Auto);
         assert!(a.threads.is_none());
+    }
+
+    #[test]
+    fn em_backend_parses_every_value() {
+        assert_eq!(parse("--em-backend auto").em_backend, EmBackend::Auto);
+        assert_eq!(parse("--em-backend conv").em_backend, EmBackend::Convolution);
+        assert_eq!(parse("--em-backend dense").em_backend, EmBackend::Dense);
+        assert_eq!(parse("--em-backend fft").em_backend, EmBackend::Fft);
+    }
+
+    #[test]
+    fn dense_em_is_an_alias_for_the_dense_backend() {
+        assert_eq!(parse("--dense-em").em_backend, EmBackend::Dense);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad --em-backend")]
+    fn rejects_unknown_backend() {
+        parse("--em-backend spectral");
     }
 
     #[test]
@@ -139,7 +168,7 @@ mod tests {
         assert_eq!(a.seed, 9);
         assert_eq!(a.out, PathBuf::from("/tmp/x"));
         assert!(a.no_calib);
-        assert!(a.dense_em);
+        assert_eq!(a.em_backend, EmBackend::Dense);
         assert_eq!(a.threads, Some(2));
     }
 

@@ -30,8 +30,9 @@ pub struct EvalContext {
     pub lp_samples: usize,
     /// Skip LP calibration (use ε as ε′ directly).
     pub no_calib: bool,
-    /// EM operator used by SAM-family mechanisms (convolution unless
-    /// `--dense-em` requests the dense reference path).
+    /// EM operator used by SAM-family mechanisms (`--em-backend`; `Auto`
+    /// unless a path is pinned explicitly, with `--dense-em` as the
+    /// legacy alias for the dense reference path).
     pub em_backend: EmBackend,
     /// Worker threads for the job runner and every mechanism's sharded
     /// report pipeline (`None` = available parallelism). Estimates are
@@ -55,7 +56,7 @@ impl EvalContext {
             sinkhorn: SinkhornParams { reg_rel: 1e-3, max_iters: 400, tol: 1e-8 },
             lp_samples: if args.fast { 400 } else { 1200 },
             no_calib: args.no_calib,
-            em_backend: if args.dense_em { EmBackend::Dense } else { EmBackend::Convolution },
+            em_backend: args.em_backend,
             threads: args.threads,
             datasets: Arc::new(Mutex::new(HashMap::new())),
         }
@@ -78,6 +79,16 @@ impl EvalContext {
         WassersteinMethod::Auto { max_exact_support: self.exact_limit }
     }
 
+    /// A dataset part's points under this context's `--users` cap
+    /// (prefix-truncation, the paper's subsampling protocol) — the one
+    /// place cap semantics live, shared by every figure binary.
+    pub fn capped_points<'a>(&self, part: &'a DatasetPart) -> &'a [dam_geo::Point] {
+        match self.user_cap {
+            Some(cap) if part.points.len() > cap => &part.points[..cap],
+            _ => &part.points,
+        }
+    }
+
     /// Runs one mechanism on one dataset part at resolution `d` and
     /// returns `W₂(recovered, actual)` in cell units, averaged over
     /// `repeats` runs with independent derived RNGs.
@@ -89,10 +100,7 @@ impl EvalContext {
         stream: u64,
     ) -> f64 {
         let grid = Grid2D::new(part.bbox, d);
-        let points: &[dam_geo::Point] = match self.user_cap {
-            Some(cap) if part.points.len() > cap => &part.points[..cap],
-            _ => &part.points,
-        };
+        let points = self.capped_points(part);
         let truth = Histogram2D::from_points(grid.clone(), points).normalized();
         let mut acc = 0.0;
         for rep in 0..self.repeats {

@@ -12,7 +12,10 @@
 //!               (the fig9 large-d binaries keep full user counts — the
 //!               sharded report pipeline makes them affordable)
 //! --no-calib    use ε directly for SEM-Geo-I instead of LP calibration
-//! --dense-em    dense reference EM channel instead of the convolution op
+//! --em-backend B  EM operator for SAM PostProcess: auto (default; picks
+//!               the stencil or the FFT from the measured (d, b̂)
+//!               crossover), conv, dense, or fft
+//! --dense-em    legacy alias for --em-backend dense
 //! --threads N   worker threads for the job runner and the sharded report
 //!               pipeline (default: available parallelism; results are
 //!               bit-identical for any value)

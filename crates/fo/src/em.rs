@@ -19,9 +19,52 @@
 //!
 //! The dense [`Channel`] is the reference implementation (O(n_out·n_in)
 //! per iteration). Structured channels — notably the translation-invariant
-//! `ConvChannel` in `dam-core`, O(n_out·b̂²) per iteration — implement the
-//! same trait and drop straight into every EM call site, so the estimator
-//! pipeline never materialises an `n_out × n_in` matrix.
+//! `ConvChannel` and the spectral `FftChannel` in `dam-core` — implement
+//! the same trait and drop straight into every EM call site, so the
+//! estimator pipeline never materialises an `n_out × n_in` matrix.
+//!
+//! Both primitives take an [`EmWorkspace`]: a bag of reusable scratch
+//! planes a structured operator can carve its per-call buffers out of
+//! (padded grids, FFT spectra, …). The workspace is created once per EM
+//! run, so steady-state iterations allocate nothing; operators that need
+//! no scratch (the dense channel, the stencil) simply ignore it.
+
+/// Reusable scratch planes for [`ChannelOp`] primitives.
+///
+/// An operator asks for its scratch through [`EmWorkspace::planes`]; the
+/// buffers are allocated on first use and reused verbatim on every later
+/// call with the same sizes, which is what makes steady-state EM
+/// iterations allocation-free. Plane contents are **not** cleared between
+/// calls — whatever the previous call left behind is still there, and
+/// callers must overwrite (or explicitly zero) everything they read.
+#[derive(Debug, Default)]
+pub struct EmWorkspace {
+    planes: Vec<Vec<f64>>,
+}
+
+impl EmWorkspace {
+    /// An empty workspace; planes materialise on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Borrows `N` scratch planes resized to `sizes`.
+    ///
+    /// Growing a plane past its capacity allocates (zero-filling the new
+    /// tail); shrinking or matching the previous size is allocation-free,
+    /// so a fixed-size caller pays for its buffers exactly once.
+    pub fn planes<const N: usize>(&mut self, sizes: [usize; N]) -> [&mut Vec<f64>; N] {
+        if self.planes.len() < N {
+            self.planes.resize_with(N, Vec::new);
+        }
+        let head = &mut self.planes[..N];
+        for (plane, &len) in head.iter_mut().zip(&sizes) {
+            plane.resize(len, 0.0);
+        }
+        let mut it = head.iter_mut();
+        std::array::from_fn(|_| it.next().expect("plane count matches N"))
+    }
+}
 
 /// The two linear-algebra primitives EM needs from a reporting channel.
 ///
@@ -37,15 +80,17 @@ pub trait ChannelOp {
 
     /// E-step product: `out[o] = Σ_i M[o,i]·f[i]`.
     ///
-    /// `f.len()` must be `n_in()`, `out.len()` must be `n_out()`.
-    fn apply(&self, f: &[f64], out: &mut [f64]);
+    /// `f.len()` must be `n_in()`, `out.len()` must be `n_out()`. `ws`
+    /// provides reusable scratch; implementations without scratch needs
+    /// ignore it.
+    fn apply(&self, f: &[f64], out: &mut [f64], ws: &mut EmWorkspace);
 
     /// M-step update: `f_new[i] = f[i] · Σ_o w[o]·M[o,i]`.
     ///
     /// `w.len()` must be `n_out()`; `f.len()` and `f_new.len()` must be
     /// `n_in()`. Entries of `w` may be zero (outputs with no observations
-    /// contribute nothing).
-    fn accumulate_adjoint(&self, w: &[f64], f: &[f64], f_new: &mut [f64]);
+    /// contribute nothing). `ws` provides reusable scratch.
+    fn accumulate_adjoint(&self, w: &[f64], f: &[f64], f_new: &mut [f64], ws: &mut EmWorkspace);
 }
 
 /// Dense channel matrix: `n_out × n_in`, column-stochastic
@@ -105,7 +150,7 @@ impl ChannelOp for Channel {
         self.n_out
     }
 
-    fn apply(&self, f: &[f64], out: &mut [f64]) {
+    fn apply(&self, f: &[f64], out: &mut [f64], _ws: &mut EmWorkspace) {
         debug_assert_eq!(f.len(), self.n_in);
         debug_assert_eq!(out.len(), self.n_out);
         for (o, out_o) in out.iter_mut().enumerate() {
@@ -114,7 +159,7 @@ impl ChannelOp for Channel {
         }
     }
 
-    fn accumulate_adjoint(&self, w: &[f64], f: &[f64], f_new: &mut [f64]) {
+    fn accumulate_adjoint(&self, w: &[f64], f: &[f64], f_new: &mut [f64], _ws: &mut EmWorkspace) {
         debug_assert_eq!(w.len(), self.n_out);
         debug_assert_eq!(f.len(), self.n_in);
         debug_assert_eq!(f_new.len(), self.n_in);
@@ -162,6 +207,20 @@ pub fn expectation_maximization<C: ChannelOp + ?Sized>(
     smoother: Option<&dyn Fn(&mut [f64])>,
     params: EmParams,
 ) -> Vec<f64> {
+    expectation_maximization_in(channel, counts, smoother, params, &mut EmWorkspace::new())
+}
+
+/// [`expectation_maximization`] with a caller-supplied [`EmWorkspace`], so
+/// repeated EM runs against same-shaped channels reuse all scratch (the
+/// workspace is threaded through every `apply`/`accumulate_adjoint`;
+/// steady-state iterations allocate nothing).
+pub fn expectation_maximization_in<C: ChannelOp + ?Sized>(
+    channel: &C,
+    counts: &[f64],
+    smoother: Option<&dyn Fn(&mut [f64])>,
+    params: EmParams,
+    ws: &mut EmWorkspace,
+) -> Vec<f64> {
     assert_eq!(counts.len(), channel.n_out(), "counts do not match channel outputs");
     let n_total: f64 = counts.iter().sum();
     assert!(n_total > 0.0, "no observations");
@@ -175,12 +234,12 @@ pub fn expectation_maximization<C: ChannelOp + ?Sized>(
 
     for _ in 0..params.max_iters {
         // E: predicted output distribution under the current estimate.
-        channel.apply(&f, &mut out);
+        channel.apply(&f, &mut out, ws);
         // M: multiplicative update through the adjoint.
         for ((w, &c), &p) in weights.iter_mut().zip(counts).zip(out.iter()) {
             *w = if c == 0.0 || p <= 0.0 { 0.0 } else { c / n_total / p };
         }
-        channel.accumulate_adjoint(&weights, &f, &mut f_new);
+        channel.accumulate_adjoint(&weights, &f, &mut f_new, ws);
         normalize(&mut f_new);
         if let Some(s) = smoother {
             s(&mut f_new);
@@ -303,7 +362,7 @@ mod tests {
         let ch = noisy_channel(4, 0.7);
         let f = [0.4, 0.3, 0.2, 0.1];
         let mut out = vec![0.0; 4];
-        ch.apply(&f, &mut out);
+        ch.apply(&f, &mut out, &mut EmWorkspace::new());
         for o in 0..4 {
             let manual: f64 = (0..4).map(|i| ch.at(o, i) * f[i]).sum();
             assert!((out[o] - manual).abs() < 1e-15);
@@ -318,7 +377,7 @@ mod tests {
         let f = [0.5, 0.3, 0.2];
         let w = [0.7, 0.0, 1.3];
         let mut f_new = vec![0.0; 3];
-        ch.accumulate_adjoint(&w, &f, &mut f_new);
+        ch.accumulate_adjoint(&w, &f, &mut f_new, &mut EmWorkspace::new());
         for i in 0..3 {
             let manual: f64 = (0..3).map(|o| w[o] * ch.at(o, i)).sum::<f64>() * f[i];
             assert!((f_new[i] - manual).abs() < 1e-15, "bin {i}");
@@ -350,6 +409,57 @@ mod tests {
         for x in &f {
             assert!((x - 0.25).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn smoothing_length_one_and_two_are_identity() {
+        // Below three bins there is no interior cell to smooth; the kernel
+        // degenerates and the vector must pass through untouched (pinning
+        // the `len < 3` early return, including the empty slice).
+        let mut empty: Vec<f64> = vec![];
+        smooth_1d(&mut empty);
+        assert!(empty.is_empty());
+
+        let mut one = vec![0.7];
+        smooth_1d(&mut one);
+        assert_eq!(one, vec![0.7]);
+
+        let mut two = vec![0.9, 0.1];
+        smooth_1d(&mut two);
+        assert_eq!(two, vec![0.9, 0.1], "length-2 input must not be averaged");
+    }
+
+    #[test]
+    fn smoothing_length_three_boundary_weights() {
+        // Length 3 is the smallest smoothed case: ends renormalise to
+        // [2,1]/3, the middle uses the full [1,2,1]/4 kernel.
+        let mut f = vec![1.0, 0.0, 0.0];
+        smooth_1d(&mut f);
+        assert!((f[0] - 2.0 / 3.0).abs() < 1e-15);
+        assert!((f[1] - 0.25).abs() < 1e-15);
+        assert!((f[2] - 0.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn workspace_planes_reuse_allocation() {
+        let mut ws = EmWorkspace::new();
+        let ptrs: Vec<*const f64> = {
+            let [a, b] = ws.planes([32, 64]);
+            a.fill(1.0);
+            b.fill(2.0);
+            vec![a.as_ptr(), b.as_ptr()]
+        };
+        // Same sizes again: same allocations, contents preserved.
+        let [a, b] = ws.planes([32, 64]);
+        assert_eq!(a.as_ptr(), ptrs[0]);
+        assert_eq!(b.as_ptr(), ptrs[1]);
+        assert!(a.iter().all(|&x| x == 1.0));
+        assert!(b.iter().all(|&x| x == 2.0));
+        // Growing reallocates but zero-fills only the new tail.
+        let [a2] = ws.planes([48]);
+        assert_eq!(a2.len(), 48);
+        assert!(a2[..32].iter().all(|&x| x == 1.0));
+        assert!(a2[32..].iter().all(|&x| x == 0.0));
     }
 
     #[test]

@@ -14,9 +14,10 @@
 //! * [`em`] — operator-based Expectation-Maximisation with optional
 //!   smoothing (the "EMS" of SW-EMS, also used by the paper's PostProcess
 //!   step): EM is generic over the [`em::ChannelOp`] trait (`apply` +
-//!   `accumulate_adjoint`), with the dense [`em::Channel`] as reference
-//!   implementation and structured operators (e.g. `dam-core`'s
-//!   `ConvChannel`) as the fast path;
+//!   `accumulate_adjoint`, both threading an [`em::EmWorkspace`] of
+//!   reusable scratch planes), with the dense [`em::Channel`] as reference
+//!   implementation and structured operators (`dam-core`'s stencil
+//!   `ConvChannel` and spectral `FftChannel`) as the fast paths;
 //! * [`sr`] — Stochastic Rounding (Duchi et al. \[4\], mean estimation);
 //! * [`pm`] — the Piecewise Mechanism (Wang et al. \[5\], mean estimation).
 
@@ -28,7 +29,10 @@ pub mod pm;
 pub mod sr;
 pub mod sw;
 
-pub use em::{expectation_maximization, Channel, ChannelOp, EmParams};
+pub use em::{
+    expectation_maximization, expectation_maximization_in, Channel, ChannelOp, EmParams,
+    EmWorkspace,
+};
 pub use grr::Grr;
 pub use oue::Oue;
 pub use sw::SquareWave;

@@ -29,7 +29,12 @@ fn one_point(
     let method = if exact {
         WassersteinMethod::Exact
     } else {
-        WassersteinMethod::Sinkhorn(SinkhornParams { reg_rel: 2e-3, max_iters: 200, tol: 1e-7 })
+        WassersteinMethod::Sinkhorn(SinkhornParams {
+            reg_rel: 2e-3,
+            max_iters: 200,
+            tol: 1e-7,
+            ..SinkhornParams::default()
+        })
     };
     w2(&est, &truth, method).unwrap()
 }

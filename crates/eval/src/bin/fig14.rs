@@ -13,7 +13,7 @@ use dam_geo::rng::derived;
 use dam_geo::Grid2D;
 use dam_trajectory::mechanism::{true_distribution, TrajectoryMechanism};
 use dam_trajectory::{sample_workload, DamOnPoints, LdpTrace, PivotTrace, Trajectory};
-use dam_transport::metrics::{w2, WassersteinMethod};
+use dam_transport::metrics::w2;
 
 fn mechanisms(eps: f64) -> Vec<Box<dyn TrajectoryMechanism>> {
     vec![
@@ -33,15 +33,15 @@ fn point_w2(
 ) -> f64 {
     let grid = Grid2D::new(bbox, d);
     let truth = true_distribution(trajs, &grid);
+    // One dispatch implementation: the context's method goes straight to
+    // `w2`, which resolves `Auto` on the *actual* support sizes (the old
+    // d²-based re-derivation here could disagree with the library for
+    // sparse estimates near the exact-LP threshold).
+    let method = ctx.w2_method();
     let mut acc = 0.0;
     for rep in 0..ctx.repeats {
         let mut rng = derived(ctx.seed, stream ^ (0x7A70_0000 + rep as u64));
         let est = mech.estimate_distribution(trajs, &grid, &mut rng);
-        let method = if (d as usize) * (d as usize) <= ctx.exact_limit {
-            WassersteinMethod::Exact
-        } else {
-            WassersteinMethod::Sinkhorn(ctx.sinkhorn)
-        };
         acc += w2(&est, &truth, method).expect("W2 computation failed");
     }
     acc / ctx.repeats as f64

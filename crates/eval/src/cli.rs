@@ -2,6 +2,7 @@
 //! dependency; flags documented in the crate docs).
 
 use dam_core::EmBackend;
+use dam_transport::W2Solver;
 use std::path::PathBuf;
 
 /// Parsed command-line options.
@@ -28,6 +29,12 @@ pub struct CliArgs {
     /// `--em-backend dense`). `Auto` picks stencil vs FFT from the
     /// measured crossover.
     pub em_backend: EmBackend,
+    /// W₂ solver for every figure's error metric (`--w2-solver
+    /// {auto,exact,sinkhorn,grid}`). `Auto` (the default) is the
+    /// library's three-way size-based dispatch: exact LP for small
+    /// supports, the grid-separable solver for large same-grid
+    /// histograms, dense Sinkhorn for sparse supports on fine grids.
+    pub w2_solver: W2Solver,
     /// Worker threads for the job runner and the sharded report pipeline
     /// (default: available parallelism). Results are bit-identical for
     /// any value — this is a wall-clock knob, not a semantics knob.
@@ -45,6 +52,7 @@ impl Default for CliArgs {
             fast: false,
             no_calib: false,
             em_backend: EmBackend::Auto,
+            w2_solver: W2Solver::Auto,
             threads: None,
         }
     }
@@ -79,6 +87,13 @@ impl CliArgs {
                         panic!("bad --em-backend {name}; known: {}", known.join(" "))
                     });
                 }
+                "--w2-solver" => {
+                    let name = value("--w2-solver");
+                    out.w2_solver = W2Solver::from_label(&name).unwrap_or_else(|| {
+                        let known: Vec<_> = W2Solver::ALL.iter().map(|s| s.label()).collect();
+                        panic!("bad --w2-solver {name}; known: {}", known.join(" "))
+                    });
+                }
                 "--threads" => {
                     let n: usize = value("--threads").parse().expect("bad --threads");
                     assert!(n >= 1, "--threads must be at least 1");
@@ -86,7 +101,7 @@ impl CliArgs {
                 }
                 other => panic!(
                     "unknown flag {other}; known: --repeats --users --seed --out --fast \
-                     --no-calib --em-backend --dense-em --threads"
+                     --no-calib --em-backend --dense-em --w2-solver --threads"
                 ),
             }
         }
@@ -142,6 +157,21 @@ mod tests {
     #[test]
     fn dense_em_is_an_alias_for_the_dense_backend() {
         assert_eq!(parse("--dense-em").em_backend, EmBackend::Dense);
+    }
+
+    #[test]
+    fn w2_solver_parses_every_value() {
+        assert_eq!(parse("").w2_solver, W2Solver::Auto);
+        assert_eq!(parse("--w2-solver auto").w2_solver, W2Solver::Auto);
+        assert_eq!(parse("--w2-solver exact").w2_solver, W2Solver::Exact);
+        assert_eq!(parse("--w2-solver sinkhorn").w2_solver, W2Solver::Dense);
+        assert_eq!(parse("--w2-solver grid").w2_solver, W2Solver::Grid);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad --w2-solver")]
+    fn rejects_unknown_w2_solver() {
+        parse("--w2-solver lp");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use dam_core::{EmBackend, SpatialEstimator};
 use dam_data::{load, DatasetKind, DatasetPart, SpatialDataset};
 use dam_geo::rng::derived;
 use dam_geo::{Grid2D, Histogram2D};
-use dam_transport::metrics::{w2, WassersteinMethod};
+use dam_transport::metrics::{w2, W2Solver, WassersteinMethod};
 use dam_transport::SinkhornParams;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -21,11 +21,14 @@ pub struct EvalContext {
     pub repeats: usize,
     /// Optional cap on users per dataset part.
     pub user_cap: Option<usize>,
-    /// Largest support solved with the exact LP; larger runs Sinkhorn —
-    /// the paper's own size-based switch.
+    /// Largest support solved with the exact LP; larger runs an
+    /// entropic solver — the paper's own size-based switch.
     pub exact_limit: usize,
-    /// Sinkhorn settings for the large-grid regime.
+    /// Sinkhorn settings for the large-grid regime (shared by the dense
+    /// and grid-separable solvers).
     pub sinkhorn: SinkhornParams,
+    /// W₂ solver selection (`--w2-solver`; `Auto` dispatches by size).
+    pub w2_solver: W2Solver,
     /// Monte-Carlo samples for Local-Privacy calibration.
     pub lp_samples: usize,
     /// Skip LP calibration (use ε as ε′ directly).
@@ -53,7 +56,13 @@ impl EvalContext {
             // unbiased vs Sinkhorn — so every paper-scale figure runs the
             // exact LP. Sinkhorn remains available for larger grids.
             exact_limit: 400,
-            sinkhorn: SinkhornParams { reg_rel: 1e-3, max_iters: 400, tol: 1e-8 },
+            sinkhorn: SinkhornParams {
+                reg_rel: 1e-3,
+                max_iters: 400,
+                tol: 1e-8,
+                ..SinkhornParams::default()
+            },
+            w2_solver: args.w2_solver,
             lp_samples: if args.fast { 400 } else { 1200 },
             no_calib: args.no_calib,
             em_backend: args.em_backend,
@@ -74,9 +83,15 @@ impl EvalContext {
         cache.entry(kind).or_insert_with(|| Arc::new(load(kind, self.seed))).clone()
     }
 
-    /// The W₂ solver choice for a grid resolution.
+    /// The configured W₂ solver as a [`WassersteinMethod`], carrying
+    /// this context's Sinkhorn tuning and thread budget. This is the
+    /// **only** dispatch point: figure binaries pass it straight to
+    /// [`w2`], which owns the size-based `Auto` resolution — harnesses
+    /// must not re-derive the switch from `d²` (a predicted support),
+    /// because the library switches on the *actual* nonzero support.
     pub fn w2_method(&self) -> WassersteinMethod {
-        WassersteinMethod::Auto { max_exact_support: self.exact_limit }
+        let sinkhorn = SinkhornParams { threads: self.threads, ..self.sinkhorn };
+        self.w2_solver.method(self.exact_limit, sinkhorn)
     }
 
     /// A dataset part's points under this context's `--users` cap
@@ -102,20 +117,11 @@ impl EvalContext {
         let grid = Grid2D::new(part.bbox, d);
         let points = self.capped_points(part);
         let truth = Histogram2D::from_points(grid.clone(), points).normalized();
+        let method = self.w2_method();
         let mut acc = 0.0;
         for rep in 0..self.repeats {
             let mut rng = derived(self.seed, stream ^ (0x5151_0000 + rep as u64));
             let est = mech.estimate(points, &grid, &mut rng).normalized();
-            let method = match self.w2_method() {
-                WassersteinMethod::Auto { max_exact_support } => {
-                    if (d as usize) * (d as usize) <= max_exact_support {
-                        WassersteinMethod::Exact
-                    } else {
-                        WassersteinMethod::Sinkhorn(self.sinkhorn)
-                    }
-                }
-                m => m,
-            };
             acc += w2(&est, &truth, method).expect("W2 computation failed");
         }
         acc / self.repeats as f64

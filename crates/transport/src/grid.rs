@@ -1,0 +1,550 @@
+//! Grid-separable entropic OT: Sinkhorn between histograms on a shared
+//! `d × d` grid, in `O(d³)` work and `O(d²)` memory per iteration.
+//!
+//! For two histograms on the *same* grid with the squared-Euclidean
+//! cell-unit cost `C = Δx² + Δy²`, the Gibbs kernel factorizes as a
+//! row ⊗ column product of 1-D kernels:
+//!
+//! ```text
+//! exp(-C/η) = exp(-Δy²/η) · exp(-Δx²/η)
+//! ```
+//!
+//! so one Sinkhorn scaling update is a pair of axis-wise kernel
+//! applications — `O(d³) = O(n^{3/2})` multiply-adds on `O(d²)` state —
+//! instead of the dense solver's `O(n²)` sweep over a materialized
+//! `n × n` cost matrix (134 MB at `d = 64`). Everything downstream of the
+//! iterations stays factorized too:
+//!
+//! * **log-domain stabilization** — potentials live in the log domain and
+//!   every axis pass absorbs the running maximum before exponentiating
+//!   (a shared per-row maximum on the x pass, a shared per-column maximum
+//!   on the y pass), so the inner `d³` loops are pure multiply-adds over
+//!   weights in `[0, 1]` and the solver never overflows however small the
+//!   regularisation gets;
+//! * **feasible cost** — the approximate coupling is rounded onto the
+//!   transport polytope (Altschuler, Weed & Rigollet 2017, Algorithm 2)
+//!   entirely in factorized form: the row/column scalings absorb into the
+//!   dual potentials, the transport cost splits per axis through
+//!   cost-weighted 1-D kernels (`Δ² · exp(-Δ²/η)`), and the rank-one
+//!   deficit correction reduces to axis marginals — the coupling is never
+//!   materialized, and the returned value is the cost of a *feasible*
+//!   coupling, i.e. an upper bound on the optimum that converges to it as
+//!   the regularisation shrinks (same guarantee as [`crate::sinkhorn`]);
+//! * **deterministic parallelism** — the axis passes hand whole rows to
+//!   the persistent worker pool ([`rayon`] shim) once a pass is worth
+//!   parallelising ([`grid_passes_parallel`]); each output row is
+//!   computed start-to-finish by exactly one worker in a fixed
+//!   arithmetic order and written to its own disjoint chunk, so results
+//!   are **bit-identical for any thread count**.
+//!
+//! The ε-scaling schedule, warm-start iteration cap and stopping rule
+//! mirror [`crate::sinkhorn`] ([`SinkhornParams`] is shared), so the two
+//! solvers agree within entropic tolerance wherever both are feasible.
+
+use crate::exact::TransportError;
+use crate::sinkhorn::SinkhornParams;
+use rayon::prelude::*;
+
+/// Below this many multiply-adds per axis pass (`d³` for a `d × d`
+/// grid), handing rows to the persistent pool costs more in task handoff
+/// than the parallelism saves; run serially. Same measured break-even as
+/// `dam_core::tuning::PARALLEL_WORK_THRESHOLD` (≈10⁶ MACs on this
+/// substrate, rounded to a power of two) — duplicated here because
+/// `dam-transport` sits below `dam-core` in the crate graph.
+const PARALLEL_WORK_THRESHOLD: usize = 1 << 20;
+
+/// Floor for log-sum-exp results feeding a potential update, slightly
+/// inside `ln(f64::MIN_POSITIVE)`. The axis passes stabilise with the
+/// *potential* maxima only (that is what keeps the inner loops pure
+/// multiply-adds), so a pass can underflow to an all-zero sum — `-∞` —
+/// for a mass-bearing cell when `1/reg_rel` exceeds ~745. Flooring the
+/// LSE there keeps the dual update finite ("everything looks ~745·reg
+/// away"); the rounding step then routes that cell's mass through the
+/// rank-one correction, so the returned cost stays feasible.
+const LSE_FLOOR: f64 = -745.0;
+
+/// Whether the solver's axis passes hand rows to the worker pool at grid
+/// side `d` (results are bit-identical either way; exposed so tests can
+/// pin which path they exercise).
+pub fn grid_passes_parallel(d: usize) -> bool {
+    d * d * d >= PARALLEL_WORK_THRESHOLD
+}
+
+/// Computes an entropically-regularised transport cost between two
+/// histograms on the same `d × d` grid (row-major, `d·iy + ix` indexing)
+/// under the squared-Euclidean cell-unit cost, returning the cost of a
+/// feasible (rounded) coupling.
+///
+/// Masses are rescaled to sum to one, like [`crate::sinkhorn`]; zero
+/// cells are allowed anywhere (including whole empty rows/columns of the
+/// grid) — they simply pin the matching dual potential at `-∞`.
+///
+/// # Panics
+/// Panics if `a` or `b` is not `d²` long.
+pub fn grid_sinkhorn_cost(
+    a: &[f64],
+    b: &[f64],
+    d: usize,
+    params: SinkhornParams,
+) -> Result<f64, TransportError> {
+    let n = d * d;
+    assert_eq!(a.len(), n, "source histogram does not match a {d}x{d} grid");
+    assert_eq!(b.len(), n, "target histogram does not match a {d}x{d} grid");
+    let sa: f64 = a.iter().sum();
+    let sb: f64 = b.iter().sum();
+    if sa <= 0.0 || sb <= 0.0 {
+        return Err(TransportError::EmptyDistribution);
+    }
+    if ((sa - sb) / sa.max(sb)).abs() > 1e-6 {
+        return Err(TransportError::UnbalancedMass { source: sa, target: sb });
+    }
+    let av: Vec<f64> = a.iter().map(|&x| (x / sa).max(0.0)).collect();
+    let bv: Vec<f64> = b.iter().map(|&x| (x / sb).max(0.0)).collect();
+
+    // Regularisation scale: the per-axis support extents give
+    // `max Δx² + max Δy²`, an upper bound on the largest support-pair
+    // cost within a factor of 2 (and exactly the dense solver's `max(C)`
+    // whenever both extremes are attained by one pair, e.g. on full-grid
+    // supports). A scale, not a correctness condition.
+    let (ax, ay) = support_extent(&av, d);
+    let (bx, by) = support_extent(&bv, d);
+    let axis_gap = |(amin, amax): (usize, usize), (bmin, bmax): (usize, usize)| -> f64 {
+        (amax as i64 - bmin as i64).max(bmax as i64 - amin as i64).max(0) as f64
+    };
+    let cmax = axis_gap(ax, bx).powi(2) + axis_gap(ay, by).powi(2);
+    if cmax == 0.0 {
+        return Ok(0.0); // both supports share a single cell
+    }
+    let reg_final = (params.reg_rel * cmax).max(1e-300);
+
+    let la: Vec<f64> = av.iter().map(|x| x.ln()).collect();
+    let lb: Vec<f64> = bv.iter().map(|x| x.ln()).collect();
+    let mut f = vec![0.0f64; n];
+    let mut g = vec![0.0f64; n];
+    let mut lse = vec![0.0f64; n];
+    let mut pass = AxisPass::new(d, params.threads);
+
+    // ε-scaling with warm-start stages capped, exactly like the dense
+    // solver; potentials in cost units carry across stages unchanged.
+    let mut reg = (0.5 * cmax).max(reg_final);
+    loop {
+        let iters = if reg <= reg_final {
+            params.max_iters
+        } else {
+            params.warm_start_iters.min(params.max_iters)
+        };
+        let k = plain_kernel(d, reg);
+        for _ in 0..iters {
+            // f update: f_i = reg * (log a_i - LSE_j((g_j - C_ij)/reg));
+            // zero-mass cells keep their potential pinned at -∞.
+            pass.apply(&g, reg, &k, &k, &mut lse);
+            for i in 0..n {
+                f[i] = if la[i] == f64::NEG_INFINITY {
+                    f64::NEG_INFINITY
+                } else {
+                    reg * (la[i] - lse[i].max(LSE_FLOOR))
+                };
+            }
+            // g update, with the column-marginal residual read off the
+            // same LSE terms (see `sinkhorn_stage` for the identity).
+            pass.apply(&f, reg, &k, &k, &mut lse);
+            let mut err = 0.0;
+            for j in 0..n {
+                err += ((g[j] / reg + lse[j]).exp() - bv[j]).abs();
+                g[j] = if lb[j] == f64::NEG_INFINITY {
+                    f64::NEG_INFINITY
+                } else {
+                    reg * (lb[j] - lse[j].max(LSE_FLOOR))
+                };
+            }
+            if err < params.tol {
+                break;
+            }
+        }
+        if reg <= reg_final {
+            break;
+        }
+        reg = (reg * 0.5).max(reg_final);
+    }
+
+    // --- Rounding onto the transport polytope, in factorized form. ---
+    // Diagonal scalings absorb into the dual potentials: scaling row i by
+    // s ≤ 1 is f_i += reg·ln s, so the "almost coupling" stays implicit.
+    let reg = reg_final;
+    let k = plain_kernel(d, reg);
+
+    // Scale rows down to at most their target marginal.
+    pass.apply(&g, reg, &k, &k, &mut lse);
+    for i in 0..n {
+        let lrow = f[i] / reg + lse[i];
+        if lrow > la[i] {
+            f[i] -= reg * (lrow - la[i]);
+        }
+    }
+    // Scale columns down to at most their target marginal; the clamped
+    // columns have zero deficit, the rest `b_j - col_j` exactly.
+    pass.apply(&f, reg, &k, &k, &mut lse);
+    let mut erb = vec![0.0f64; n];
+    for j in 0..n {
+        let lcol = g[j] / reg + lse[j];
+        if lcol > lb[j] {
+            g[j] -= reg * (lcol - lb[j]);
+        } else {
+            erb[j] = (bv[j] - lcol.exp()).max(0.0);
+        }
+    }
+    // Row deficits after both scalings.
+    pass.apply(&g, reg, &k, &k, &mut lse);
+    let mut era = vec![0.0f64; n];
+    for i in 0..n {
+        era[i] = (av[i] - (f[i] / reg + lse[i]).exp()).max(0.0);
+    }
+
+    // Transport cost of the scaled coupling: C = Δx² + Δy² splits per
+    // axis, so ⟨P, C⟩ is two more pass pairs with a cost-weighted kernel
+    // on one axis and the plain kernel on the other.
+    let kc = cost_kernel(d, reg);
+    let mut total = 0.0;
+    for (weighted_x, weighted_y) in [(&kc, &k), (&k, &kc)] {
+        pass.apply(&g, reg, weighted_x, weighted_y, &mut lse);
+        for i in 0..n {
+            let term = (f[i] / reg + lse[i]).exp();
+            if term > 0.0 {
+                total += term;
+            }
+        }
+    }
+
+    // Rank-one deficit correction era ⊗ erb / ‖era‖₁: its cost also
+    // splits per axis through the deficits' axis marginals, so the
+    // correction is never materialized either.
+    let ta: f64 = era.iter().sum();
+    if ta > 0.0 {
+        let (eax, eay) = axis_marginals(&era, d);
+        let (ebx, eby) = axis_marginals(&erb, d);
+        let mut corr = 0.0;
+        for (ea, eb) in [(&eax, &ebx), (&eay, &eby)] {
+            for (i, &wa) in ea.iter().enumerate() {
+                if wa == 0.0 {
+                    continue;
+                }
+                for (j, &wb) in eb.iter().enumerate() {
+                    let delta = i.abs_diff(j) as f64;
+                    corr += wa * wb * delta * delta;
+                }
+            }
+        }
+        total += corr / ta;
+    }
+    Ok(total)
+}
+
+/// `(min, max)` nonzero index along x and y of a row-major `d × d` mass
+/// vector (the caller guarantees at least one positive cell).
+fn support_extent(v: &[f64], d: usize) -> ((usize, usize), (usize, usize)) {
+    let (mut x0, mut x1, mut y0, mut y1) = (usize::MAX, 0, usize::MAX, 0);
+    for (i, &m) in v.iter().enumerate() {
+        if m > 0.0 {
+            let (ix, iy) = (i % d, i / d);
+            x0 = x0.min(ix);
+            x1 = x1.max(ix);
+            y0 = y0.min(iy);
+            y1 = y1.max(iy);
+        }
+    }
+    ((x0, x1), (y0, y1))
+}
+
+/// 1-D Gibbs kernel `k[Δ] = exp(-Δ²/reg)` for offsets `0..d`.
+fn plain_kernel(d: usize, reg: f64) -> Vec<f64> {
+    (0..d).map(|delta| (-((delta * delta) as f64) / reg).exp()).collect()
+}
+
+/// Cost-weighted 1-D kernel `k[Δ] = Δ² · exp(-Δ²/reg)` (the per-axis
+/// factor of ⟨P, C⟩; its `Δ = 0` entry is zero by construction).
+fn cost_kernel(d: usize, reg: f64) -> Vec<f64> {
+    (0..d).map(|delta| ((delta * delta) as f64) * (-((delta * delta) as f64) / reg).exp()).collect()
+}
+
+/// Sums a row-major `d × d` vector onto its x and y axis marginals.
+fn axis_marginals(v: &[f64], d: usize) -> (Vec<f64>, Vec<f64>) {
+    let mut mx = vec![0.0f64; d];
+    let mut my = vec![0.0f64; d];
+    for (i, &m) in v.iter().enumerate() {
+        mx[i % d] += m;
+        my[i / d] += m;
+    }
+    (mx, my)
+}
+
+/// Reusable scratch for one separable log-domain kernel application.
+///
+/// [`AxisPass::apply`] computes, for a potential `φ` in cost units,
+///
+/// ```text
+/// out[iy·d + ix] = LSE_{jy,jx}( ln ky[|iy-jy|] + ln kx[|ix-jx|] + φ[jy·d + jx]/reg )
+/// ```
+///
+/// as four row-parallel sweeps: stabilised x-axis weights, the x-axis
+/// kernel contraction, stabilised y-axis weights, the y-axis kernel
+/// contraction — `2·d³` multiply-adds and `2·d²` exponentials total.
+struct AxisPass {
+    d: usize,
+    parallel: bool,
+    threads: Option<usize>,
+    /// Row-stabilised weights `exp((φ - rowmax)/reg)` for the x pass.
+    w: Vec<f64>,
+    /// Log x-axis contractions `rowmax/reg + ln Σ_jx kx·w`.
+    t: Vec<f64>,
+    /// Column maxima of `t` (the y-pass stabiliser).
+    colmax: Vec<f64>,
+    /// Column-stabilised weights `exp(t - colmax)` for the y pass.
+    u: Vec<f64>,
+}
+
+impl AxisPass {
+    fn new(d: usize, threads: Option<usize>) -> Self {
+        Self {
+            d,
+            parallel: grid_passes_parallel(d),
+            threads,
+            w: vec![0.0; d * d],
+            t: vec![0.0; d * d],
+            colmax: vec![0.0; d],
+            u: vec![0.0; d * d],
+        }
+    }
+
+    fn apply(&mut self, phi: &[f64], reg: f64, kx: &[f64], ky: &[f64], out: &mut [f64]) {
+        let Self { d, parallel, threads, w, t, colmax, u } = self;
+        let (d, parallel, threads) = (*d, *parallel, *threads);
+        // Pass 1 — x-axis weights, stabilised by the shared row maximum
+        // (shared so the weights can be reused by every output column):
+        // all-empty rows (whole grid rows of zero mass, `max = -∞`) get
+        // zero weight rather than `exp(-∞ + ∞) = NaN`.
+        for_rows(d, parallel, threads, w, |jy, row| {
+            let m = row_max(&phi[jy * d..(jy + 1) * d]);
+            if m == f64::NEG_INFINITY {
+                row.fill(0.0);
+            } else {
+                for (jx, wv) in row.iter_mut().enumerate() {
+                    *wv = ((phi[jy * d + jx] - m) / reg).exp();
+                }
+            }
+        });
+        // Pass 2 — x-axis kernel contraction per source row; the row
+        // maximum is recomputed (d ops against d² multiply-adds) so the
+        // sweep needs no cross-row scratch.
+        let w: &[f64] = w;
+        for_rows(d, parallel, threads, t, |jy, row| {
+            let m = row_max(&phi[jy * d..(jy + 1) * d]);
+            if m == f64::NEG_INFINITY {
+                row.fill(f64::NEG_INFINITY);
+                return;
+            }
+            let wrow = &w[jy * d..(jy + 1) * d];
+            for (ix, tv) in row.iter_mut().enumerate() {
+                let mut s = 0.0;
+                for (jx, &wv) in wrow.iter().enumerate() {
+                    s += kx[ix.abs_diff(jx)] * wv;
+                }
+                *tv = m / reg + s.ln();
+            }
+        });
+        // Column maxima (serial O(d²): strided reads, negligible work).
+        colmax.fill(f64::NEG_INFINITY);
+        for jy in 0..d {
+            for (ix, cm) in colmax.iter_mut().enumerate() {
+                *cm = cm.max(t[jy * d + ix]);
+            }
+        }
+        // Pass 3 — y-axis weights, stabilised by the shared column
+        // maximum (same all-empty guard as pass 1, per element).
+        let (t, colmax): (&[f64], &[f64]) = (t, colmax);
+        for_rows(d, parallel, threads, u, |jy, row| {
+            for (ix, uv) in row.iter_mut().enumerate() {
+                let tv = t[jy * d + ix];
+                *uv = if tv == f64::NEG_INFINITY { 0.0 } else { (tv - colmax[ix]).exp() };
+            }
+        });
+        // Pass 4 — y-axis kernel contraction into the output rows; the
+        // inner loop runs over contiguous `u` rows so it vectorises.
+        let u: &[f64] = u;
+        for_rows(d, parallel, threads, out, |iy, row| {
+            row.fill(0.0);
+            for jy in 0..d {
+                let kv = ky[iy.abs_diff(jy)];
+                let urow = &u[jy * d..(jy + 1) * d];
+                for (acc, &uv) in row.iter_mut().zip(urow) {
+                    *acc += kv * uv;
+                }
+            }
+            for (ix, acc) in row.iter_mut().enumerate() {
+                *acc = colmax[ix] + acc.ln();
+            }
+        });
+    }
+}
+
+/// Applies `f(row_index, row)` to every `d`-chunk of `buf`, handing rows
+/// to the persistent pool when the pass is large enough to pay for it.
+/// Each row is produced wholly by one worker in a fixed arithmetic order
+/// and written to its own disjoint chunk, so serial and parallel runs
+/// are bit-identical for any thread count.
+fn for_rows(
+    d: usize,
+    parallel: bool,
+    threads: Option<usize>,
+    buf: &mut [f64],
+    f: impl Fn(usize, &mut [f64]) + Sync,
+) {
+    if parallel {
+        buf.par_chunks_mut(d).with_threads(threads).enumerate().for_each(|(i, row)| f(i, row));
+    } else {
+        for (i, row) in buf.chunks_mut(d).enumerate() {
+            f(i, row);
+        }
+    }
+}
+
+/// Maximum of a slice with `-∞` as the empty/all-`-∞` value.
+fn row_max(xs: &[f64]) -> f64 {
+    xs.iter().fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostMatrix;
+    use crate::exact::solve_exact;
+    use crate::sinkhorn::sinkhorn_cost;
+    use dam_geo::Point;
+    use rand::{Rng, SeedableRng};
+
+    /// Cell-center support points of a full `d × d` grid, matching the
+    /// convention of `metrics::cell_unit_support`.
+    fn grid_points(d: usize) -> Vec<Point> {
+        (0..d * d).map(|i| Point::new((i % d) as f64 + 0.5, (i / d) as f64 + 0.5)).collect()
+    }
+
+    fn normalized(mut v: Vec<f64>) -> Vec<f64> {
+        let s: f64 = v.iter().sum();
+        for x in &mut v {
+            *x /= s;
+        }
+        v
+    }
+
+    fn random_grid_dist(d: usize, rng: &mut impl Rng) -> Vec<f64> {
+        normalized((0..d * d).map(|_| rng.gen::<f64>() + 0.01).collect())
+    }
+
+    #[test]
+    fn matches_dense_sinkhorn_and_exact_on_random_grids() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for d in [4usize, 6, 8] {
+            let a = random_grid_dist(d, &mut rng);
+            let b = random_grid_dist(d, &mut rng);
+            let pts = grid_points(d);
+            let cost = CostMatrix::euclidean_pow(&pts, &pts, 2);
+            let exact = solve_exact(&a, &b, &cost).unwrap().cost;
+            let dense = sinkhorn_cost(&a, &b, &cost, SinkhornParams::default()).unwrap();
+            let grid = grid_sinkhorn_cost(&a, &b, d, SinkhornParams::default()).unwrap();
+            // Rounded coupling => feasible => cost >= optimum.
+            assert!(grid >= exact - 1e-9, "d={d}: grid {grid} below exact {exact}");
+            assert!(
+                (grid - exact).abs() <= 0.05 * exact.max(0.05),
+                "d={d}: grid {grid} vs exact {exact}"
+            );
+            assert!(
+                (grid - dense).abs() <= 0.05 * dense.max(0.05),
+                "d={d}: grid {grid} vs dense {dense}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_distributions_cost_near_zero() {
+        // The residual is pure entropic blur, proportional to
+        // `reg_rel · cmax` (= 0.256 on a 9×9 grid): a few % of the
+        // nearest-neighbour cost, far below any real displacement.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let a = random_grid_dist(9, &mut rng);
+        let cost = grid_sinkhorn_cost(&a, &a, 9, SinkhornParams::default()).unwrap();
+        assert!(cost < 0.1, "cost {cost}");
+    }
+
+    #[test]
+    fn delta_to_delta_is_the_squared_cell_distance() {
+        // With singleton supports the only feasible coupling is the atom
+        // pair, so rounding recovers the exact cost.
+        let d = 16usize;
+        let mut a = vec![0.0; d * d];
+        let mut b = vec![0.0; d * d];
+        a[2 * d + 3] = 1.0; // (x=3, y=2)
+        b[11 * d + 9] = 1.0; // (x=9, y=11)
+        let want = (9.0f64 - 3.0).powi(2) + (11.0f64 - 2.0).powi(2);
+        let got = grid_sinkhorn_cost(&a, &b, d, SinkhornParams::default()).unwrap();
+        assert!((got - want).abs() <= 1e-6 * want, "got {got} want {want}");
+    }
+
+    #[test]
+    fn handles_empty_grid_rows_and_columns() {
+        // Mass confined to disjoint horizontal bands: whole grid rows
+        // (and the transpose: columns) carry zero mass on each side.
+        let d = 8usize;
+        let mut a = vec![0.0; d * d];
+        let mut b = vec![0.0; d * d];
+        for ix in 0..d {
+            a[ix] = 1.0; // bottom row only
+            b[(d - 1) * d + ix] = 1.0; // top row only
+        }
+        let pts = grid_points(d);
+        let cost = CostMatrix::euclidean_pow(&pts, &pts, 2);
+        let exact =
+            solve_exact(&normalized(a.clone()), &normalized(b.clone()), &cost).unwrap().cost;
+        let grid = grid_sinkhorn_cost(&a, &b, d, SinkhornParams::default()).unwrap();
+        assert!(grid >= exact - 1e-9);
+        assert!((grid - exact).abs() <= 0.05 * exact, "grid {grid} exact {exact}");
+
+        let mut at = vec![0.0; d * d];
+        let mut bt = vec![0.0; d * d];
+        for iy in 0..d {
+            at[iy * d] = 1.0; // left column only
+            bt[iy * d + (d - 1)] = 1.0; // right column only
+        }
+        let gt = grid_sinkhorn_cost(&at, &bt, d, SinkhornParams::default()).unwrap();
+        assert!((gt - grid).abs() <= 1e-9 + 0.01 * grid, "transpose symmetry: {gt} vs {grid}");
+    }
+
+    #[test]
+    fn single_cell_supports_coincide() {
+        let mut a = vec![0.0; 25];
+        a[7] = 3.0;
+        assert_eq!(grid_sinkhorn_cost(&a, &a, 5, SinkhornParams::default()).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        let z = vec![0.0; 9];
+        assert!(matches!(
+            grid_sinkhorn_cost(&z, &z, 3, SinkhornParams::default()),
+            Err(TransportError::EmptyDistribution)
+        ));
+        let mut a = vec![0.0; 9];
+        let mut b = vec![0.0; 9];
+        a[0] = 1.0;
+        b[8] = 2.0;
+        assert!(matches!(
+            grid_sinkhorn_cost(&a, &b, 3, SinkhornParams::default()),
+            Err(TransportError::UnbalancedMass { .. })
+        ));
+    }
+
+    #[test]
+    fn parallel_gate_engages_only_above_the_measured_break_even() {
+        assert!(!grid_passes_parallel(64), "d=64 passes are below the pool break-even");
+        assert!(grid_passes_parallel(102));
+        assert!(grid_passes_parallel(128));
+    }
+}

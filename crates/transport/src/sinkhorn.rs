@@ -12,21 +12,34 @@
 use crate::cost::CostMatrix;
 use crate::exact::TransportError;
 
-/// Tuning knobs for [`sinkhorn_cost`].
+/// Tuning knobs for [`sinkhorn_cost`] and
+/// [`crate::grid::grid_sinkhorn_cost`].
 #[derive(Debug, Clone, Copy)]
 pub struct SinkhornParams {
     /// Final regularisation strength, *relative to the largest ground cost*
     /// (`reg_abs = reg_rel · max(C)`). Smaller is more accurate but slower.
     pub reg_rel: f64,
-    /// Maximum Sinkhorn iterations per ε-scaling stage.
+    /// Maximum Sinkhorn iterations in the *final* ε-scaling stage.
     pub max_iters: usize,
     /// Stop a stage when the L1 marginal violation drops below this.
     pub tol: f64,
+    /// Iteration cap for every *intermediate* ε-scaling stage. Warm-start
+    /// stages only need to move the dual potentials into the right
+    /// neighbourhood before the regularisation halves again, so running
+    /// them to `max_iters`/`tol` wastes almost their entire budget; a
+    /// small cap reserves the budget for the final stage (the measured
+    /// speedup is recorded in `BENCH_w2.json`). Use `usize::MAX` for the
+    /// legacy run-every-stage-to-convergence behaviour.
+    pub warm_start_iters: usize,
+    /// Worker threads for the grid-separable solver's row-parallel axis
+    /// passes (`None` = available parallelism). Results are bit-identical
+    /// for any value; the dense solver is serial and ignores this.
+    pub threads: Option<usize>,
 }
 
 impl Default for SinkhornParams {
     fn default() -> Self {
-        Self { reg_rel: 2e-3, max_iters: 2000, tol: 1e-9 }
+        Self { reg_rel: 2e-3, max_iters: 2000, tol: 1e-9, warm_start_iters: 10, threads: None }
     }
 }
 
@@ -76,9 +89,17 @@ pub fn sinkhorn_cost(
     let mut g = vec![0.0f64; n];
 
     // ε-scaling schedule: geometric decay from a large regularisation.
+    // Intermediate stages only warm-start the potentials, so they run
+    // under the (small) `warm_start_iters` cap; the final stage gets the
+    // whole `max_iters`/`tol` budget.
     let mut reg = (0.5 * cmax).max(reg_final);
     loop {
-        sinkhorn_stage(&log_a, &log_b, &c, m, n, reg, params.max_iters, params.tol, &mut f, &mut g);
+        let iters = if reg <= reg_final {
+            params.max_iters
+        } else {
+            params.warm_start_iters.min(params.max_iters)
+        };
+        sinkhorn_stage(&log_a, &log_b, &c, m, n, reg, iters, params.tol, &mut f, &mut g);
         if reg <= reg_final {
             break;
         }
@@ -121,21 +142,19 @@ fn sinkhorn_stage(
             }
             f[i] = reg * (log_a[i] - logsumexp(&scratch[..n]));
         }
-        // g update and convergence check on row marginals.
+        // g update, measuring convergence from the same log-sum-exp
+        // terms: with the fresh `f`, column `j` of the coupling under the
+        // *old* `g` sums to `exp(g_j/reg + LSE_i((f_i - C_ij)/reg))`, so
+        // the L1 column-marginal violation costs nothing extra — no
+        // O(mn) coupling materialisation just to read off a residual.
+        let mut err = 0.0;
         for j in 0..n {
             for (i, s) in scratch[..m].iter_mut().enumerate() {
                 *s = (f[i] - c[i * n + j]) / reg;
             }
-            g[j] = reg * (log_b[j] - logsumexp(&scratch[..m]));
-        }
-        // Row-marginal violation after the g update.
-        let mut err = 0.0;
-        for i in 0..m {
-            let mut row = 0.0;
-            for j in 0..n {
-                row += ((f[i] + g[j] - c[i * n + j]) / reg).exp();
-            }
-            err += (row - log_a[i].exp()).abs();
+            let lse = logsumexp(&scratch[..m]);
+            err += ((g[j] / reg + lse).exp() - log_b[j].exp()).abs();
+            g[j] = reg * (log_b[j] - lse);
         }
         if err < tol {
             break;

@@ -3,6 +3,7 @@
 use dam_geo::Point;
 use dam_transport::cost::CostMatrix;
 use dam_transport::exact::solve_exact;
+use dam_transport::grid::grid_sinkhorn_cost;
 use dam_transport::sinkhorn::{sinkhorn_cost, SinkhornParams};
 use dam_transport::w1d::{wasserstein_1d, wasserstein_1d_pow};
 use proptest::prelude::*;
@@ -12,6 +13,29 @@ fn masses(n: usize) -> impl Strategy<Value = Vec<f64>> {
         let s: f64 = v.iter().sum();
         v.into_iter().map(|x| x / s).collect()
     })
+}
+
+/// Normalized mass vectors over a `d × d` grid with zero cells allowed
+/// (roughly half the cells empty on average), so the separable solver
+/// sees sparse supports, empty grid rows/columns and non-uniform masses.
+fn grid_masses(d: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..1.0, d * d)
+        .prop_map(|v| {
+            // Threshold to a sparse mask: draws below ½ become empty
+            // cells, the rest keep their (non-uniform) mass.
+            v.into_iter().map(|x| if x < 0.5 { 0.0 } else { x }).collect::<Vec<f64>>()
+        })
+        .prop_filter("needs some mass", |v: &Vec<f64>| v.iter().sum::<f64>() > 0.0)
+        .prop_map(|v| {
+            let s: f64 = v.iter().sum();
+            v.into_iter().map(|x| x / s).collect()
+        })
+}
+
+/// Cell-center support points of the full grid (the `metrics`
+/// convention: costs in cell units).
+fn grid_points(d: usize) -> Vec<Point> {
+    (0..d * d).map(|i| Point::new((i % d) as f64 + 0.5, (i / d) as f64 + 0.5)).collect()
 }
 
 fn points(n: usize) -> impl Strategy<Value = Vec<Point>> {
@@ -92,6 +116,46 @@ proptest! {
         let approx = sinkhorn_cost(&a, &b, &cost, SinkhornParams::default()).unwrap();
         prop_assert!(approx >= exact - 1e-9, "feasible rounding below optimum");
         prop_assert!(approx <= exact + 0.1 * cost.max().max(1e-9), "approximation too loose");
+    }
+
+    /// The grid-separable solver, dense Sinkhorn and the exact LP agree
+    /// within entropic tolerance on the same grid instance — including
+    /// sparse masks (zero cells, empty grid rows/columns) and
+    /// non-uniform masses. Both entropic costs must also stay feasible
+    /// (≥ the optimum) thanks to polytope rounding.
+    #[test]
+    fn grid_sinkhorn_matches_dense_and_exact(
+        a in grid_masses(5),
+        b in grid_masses(5),
+    ) {
+        let d = 5usize;
+        let pts = grid_points(d);
+        let cost = CostMatrix::euclidean_pow(&pts, &pts, 2);
+        let exact = solve_exact(&a, &b, &cost).unwrap().cost;
+        let dense = sinkhorn_cost(&a, &b, &cost, SinkhornParams::default()).unwrap();
+        let grid = grid_sinkhorn_cost(&a, &b, d, SinkhornParams::default()).unwrap();
+        prop_assert!(grid >= exact - 1e-9, "grid {grid} below optimum {exact}");
+        let tol = 0.05 * exact.max(0.05);
+        prop_assert!((grid - exact).abs() <= tol, "grid {grid} vs exact {exact}");
+        prop_assert!((grid - dense).abs() <= tol, "grid {grid} vs dense {dense}");
+    }
+
+    /// Delta masses: with singleton supports the coupling is forced, so
+    /// every solver must return the squared cell distance exactly (up to
+    /// rounding noise).
+    #[test]
+    fn grid_sinkhorn_delta_masses_are_exact(
+        sx in 0u32..9, sy in 0u32..9, tx in 0u32..9, ty in 0u32..9,
+    ) {
+        let d = 9usize;
+        let mut a = vec![0.0; d * d];
+        let mut b = vec![0.0; d * d];
+        a[(sy as usize) * d + sx as usize] = 1.0;
+        b[(ty as usize) * d + tx as usize] = 1.0;
+        let want = (f64::from(sx) - f64::from(tx)).powi(2)
+            + (f64::from(sy) - f64::from(ty)).powi(2);
+        let got = grid_sinkhorn_cost(&a, &b, d, SinkhornParams::default()).unwrap();
+        prop_assert!((got - want).abs() <= 1e-6 * want.max(1.0), "got {got} want {want}");
     }
 
     #[test]

@@ -65,7 +65,7 @@ fn bench_postprocess(c: &mut Criterion) {
                     &counts,
                     &grid,
                     PostProcess::Em,
-                    EmParams { max_iters: 100, rel_tol: 1e-6 },
+                    EmParams { max_iters: 100, rel_tol: 1e-6, gain_tol: 0.0 },
                 ))
             });
         });
@@ -104,7 +104,7 @@ const RADIUS_SWEEP_D: u32 = 64;
 /// structured paths exist to avoid); the conv operator runs every size.
 fn bench_dense_vs_conv(c: &mut Criterion) {
     const B_HAT: u32 = 4;
-    let params = EmParams { max_iters: D_SWEEP_ITERS, rel_tol: 0.0 };
+    let params = EmParams { max_iters: D_SWEEP_ITERS, rel_tol: 0.0, gain_tol: 0.0 };
     let mut group = c.benchmark_group("em_dense_vs_conv");
     group.sample_size(10);
     for &d in &[16u32, 32, 64] {
@@ -127,7 +127,7 @@ fn bench_dense_vs_conv(c: &mut Criterion) {
 /// Stencil vs spectral EM across the radius sweep at d = 64 — the
 /// crossover `EmBackend::Auto` is calibrated against.
 fn bench_conv_vs_fft(c: &mut Criterion) {
-    let params = EmParams { max_iters: RADIUS_SWEEP_ITERS, rel_tol: 0.0 };
+    let params = EmParams { max_iters: RADIUS_SWEEP_ITERS, rel_tol: 0.0, gain_tol: 0.0 };
     let mut group = c.benchmark_group("em_conv_vs_fft");
     group.sample_size(5);
     for &b in &RADIUS_SWEEP_B {

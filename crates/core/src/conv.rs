@@ -426,7 +426,7 @@ mod tests {
         let conv = ConvChannel::new(&kernel);
         let fftc = FftChannel::new(&kernel);
         let counts: Vec<f64> = (0..conv.n_out()).map(|o| ((o * 11) % 17) as f64).collect();
-        let params = EmParams { max_iters: 60, rel_tol: 0.0 };
+        let params = EmParams { max_iters: 60, rel_tol: 0.0, gain_tol: 0.0 };
         let fc = expectation_maximization(&conv, &counts, None, params);
         let ff = expectation_maximization(&fftc, &counts, None, params);
         for i in 0..conv.n_in() {
@@ -440,7 +440,7 @@ mod tests {
         let dense = kernel.channel();
         let conv = ConvChannel::new(&kernel);
         let counts: Vec<f64> = (0..conv.n_out()).map(|o| ((o * 7) % 13) as f64).collect();
-        let params = EmParams { max_iters: 80, rel_tol: 0.0 };
+        let params = EmParams { max_iters: 80, rel_tol: 0.0, gain_tol: 0.0 };
         let fd = expectation_maximization(&dense, &counts, None, params);
         let fc = expectation_maximization(&conv, &counts, None, params);
         for i in 0..conv.n_in() {
@@ -461,7 +461,7 @@ mod tests {
             &conv,
             &counts,
             None,
-            EmParams { max_iters: 25, rel_tol: 1e-9 },
+            EmParams { max_iters: 25, rel_tol: 1e-9, gain_tol: 0.0 },
         );
         assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
         assert!(f.iter().all(|&x| x >= 0.0));

@@ -7,7 +7,7 @@
 //! iterations — the 2-D analogue of SW-EMS's `[1,2,1]/4`.
 
 use crate::kernel::DiscreteKernel;
-use dam_fo::em::{expectation_maximization, ChannelOp, EmParams};
+use dam_fo::em::{expectation_maximization_warm, ChannelOp, EmParams, EmRun, EmWorkspace};
 use dam_geo::{Grid2D, Histogram2D};
 
 /// Post-processing flavour.
@@ -139,35 +139,87 @@ pub fn post_process_with(
     params: EmParams,
     backend: EmBackend,
 ) -> Histogram2D {
-    assert_eq!(noisy_counts.len(), kernel.n_out(), "counts do not match output grid");
-    assert_eq!(input_grid.d(), kernel.d(), "kernel built for a different grid resolution");
-    let conv;
-    let dense;
-    let fft;
-    let channel: &dyn ChannelOp = match backend.resolve(kernel.d(), kernel.b_hat()) {
-        EmBackend::Convolution => {
-            conv = kernel.conv_channel();
-            &conv
-        }
-        EmBackend::Dense => {
-            dense = kernel.channel();
-            &dense
-        }
-        EmBackend::Fft => {
-            fft = kernel.fft_channel();
-            &fft
-        }
-        EmBackend::Auto => unreachable!("resolve never returns Auto"),
-    };
-    let d = kernel.d() as usize;
-    let smoother = move |f: &mut [f64]| smooth_2d(d, f);
-    let est = match post {
-        PostProcess::Em => expectation_maximization(channel, noisy_counts, None, params),
-        PostProcess::Ems => {
-            expectation_maximization(channel, noisy_counts, Some(&smoother), params)
-        }
-    };
-    Histogram2D::from_values(input_grid.clone(), est)
+    let op = EmOperator::new(kernel, backend);
+    op.post_process_warm(noisy_counts, input_grid, post, params, None, &mut EmWorkspace::new()).0
+}
+
+/// A resolved EM operator, reusable across PostProcess runs.
+///
+/// One-shot callers go through [`post_process_with`], which builds the
+/// channel, runs EM once and throws everything away. A *streaming* caller
+/// re-runs EM against the **same kernel** every window, so the channel
+/// (stencil offsets or the FFT plan + kernel spectrum — the expensive
+/// setup) should be built once and kept. `EmOperator` is that long-lived
+/// piece: construct it per kernel/backend, then call
+/// [`EmOperator::post_process_warm`] per window with a shared
+/// [`EmWorkspace`] and (optionally) the previous window's estimate as the
+/// warm start.
+pub struct EmOperator {
+    channel: Box<dyn ChannelOp + Send + Sync>,
+    /// Resolved backend actually in use (never [`EmBackend::Auto`]).
+    resolved: EmBackend,
+    d: u32,
+    n_out: usize,
+}
+
+impl EmOperator {
+    /// Resolves `backend` for the kernel shape and builds the channel once.
+    pub fn new(kernel: &DiscreteKernel, backend: EmBackend) -> Self {
+        let resolved = backend.resolve(kernel.d(), kernel.b_hat());
+        let channel: Box<dyn ChannelOp + Send + Sync> = match resolved {
+            EmBackend::Convolution => Box::new(kernel.conv_channel()),
+            EmBackend::Dense => Box::new(kernel.channel()),
+            EmBackend::Fft => Box::new(kernel.fft_channel()),
+            EmBackend::Auto => unreachable!("resolve never returns Auto"),
+        };
+        Self { channel, resolved, d: kernel.d(), n_out: kernel.n_out() }
+    }
+
+    /// The backend the cost model resolved to.
+    #[inline]
+    pub fn resolved(&self) -> EmBackend {
+        self.resolved
+    }
+
+    /// Runs PostProcess with an optional warm start, returning the
+    /// estimate and the EM iteration count (the warm-vs-cold accounting
+    /// the streaming layer reports). `init`, when given, must be a
+    /// distribution over the input grid (`d²` values); `ws` carries the
+    /// operator scratch across windows so steady-state EM allocates
+    /// nothing.
+    pub fn post_process_warm(
+        &self,
+        noisy_counts: &[f64],
+        input_grid: &Grid2D,
+        post: PostProcess,
+        params: EmParams,
+        init: Option<&[f64]>,
+        ws: &mut EmWorkspace,
+    ) -> (Histogram2D, usize) {
+        assert_eq!(noisy_counts.len(), self.n_out, "counts do not match output grid");
+        assert_eq!(input_grid.d(), self.d, "kernel built for a different grid resolution");
+        let d = self.d as usize;
+        let smoother = move |f: &mut [f64]| smooth_2d(d, f);
+        let EmRun { estimate, iters } = match post {
+            PostProcess::Em => expectation_maximization_warm(
+                self.channel.as_ref(),
+                noisy_counts,
+                init,
+                None,
+                params,
+                ws,
+            ),
+            PostProcess::Ems => expectation_maximization_warm(
+                self.channel.as_ref(),
+                noisy_counts,
+                init,
+                Some(&smoother),
+                params,
+                ws,
+            ),
+        };
+        (Histogram2D::from_values(input_grid.clone(), estimate), iters)
+    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use crate::grid::KernelKind;
 use crate::kernel::DiscreteKernel;
 use crate::radius::optimal_b_cells;
 use crate::response::GridAreaResponse;
-use crate::shard::sharded_accumulate;
+use crate::shard::sharded_accumulate_in;
 use dam_fo::em::EmParams;
 use dam_geo::{CellIndex, Grid2D, Histogram2D, Point};
 use rand::RngCore;
@@ -175,13 +175,37 @@ impl DamClient {
         master_seed: u64,
         threads: Option<usize>,
     ) -> Vec<f64> {
+        let mut scratch = Vec::new();
+        self.report_batch_in(points, master_seed, threads, &mut scratch);
+        scratch
+    }
+
+    /// [`DamClient::report_batch`] with a caller-owned scratch allocation
+    /// (see [`crate::shard::sharded_accumulate_in`]): on return `scratch`
+    /// holds exactly the merged output-grid counts, and its capacity is
+    /// reused across calls — the per-epoch ingest path of a streaming
+    /// estimator allocates nothing in steady state.
+    pub fn report_batch_in(
+        &self,
+        points: &[Point],
+        master_seed: u64,
+        threads: Option<usize>,
+        scratch: &mut Vec<f64>,
+    ) {
         let od = self.kernel().out_d() as usize;
-        sharded_accumulate(points.len(), od * od, master_seed, threads, |range, rng, buf| {
-            for &p in &points[range] {
-                let noisy = self.response.respond(self.grid.cell_of(p), rng);
-                buf[noisy.iy as usize * od + noisy.ix as usize] += 1.0;
-            }
-        })
+        sharded_accumulate_in(
+            points.len(),
+            od * od,
+            master_seed,
+            threads,
+            scratch,
+            |range, rng, buf| {
+                for &p in &points[range] {
+                    let noisy = self.response.respond(self.grid.cell_of(p), rng);
+                    buf[noisy.iy as usize * od + noisy.ix as usize] += 1.0;
+                }
+            },
+        );
     }
 }
 

@@ -54,7 +54,7 @@ pub mod shard;
 pub mod tuning;
 
 pub use conv::{ConvChannel, FftChannel};
-pub use em2d::{EmBackend, PostProcess};
+pub use em2d::{EmBackend, EmOperator, PostProcess};
 pub use estimator::{
     DamAggregator, DamClient, DamConfig, DamEstimator, SamVariant, SpatialEstimator,
 };

@@ -61,24 +61,47 @@ pub fn sharded_accumulate<F>(
 where
     F: Fn(Range<usize>, &mut StdRng, &mut [f64]) + Sync,
 {
+    let mut scratch = Vec::new();
+    sharded_accumulate_in(n_points, buf_len, master_seed, threads, &mut scratch, fill);
+    scratch
+}
+
+/// [`sharded_accumulate`] with a caller-owned scratch allocation.
+///
+/// The per-shard buffers are carved out of `scratch` (grown and zeroed as
+/// needed), and on return `scratch` is truncated to exactly the merged
+/// `buf_len` counts — so a streaming caller ingesting one batch per epoch
+/// against a fixed grid allocates its shard planes once and reuses the
+/// capacity forever. Output bits are identical to [`sharded_accumulate`]
+/// for any `threads` value.
+pub fn sharded_accumulate_in<F>(
+    n_points: usize,
+    buf_len: usize,
+    master_seed: u64,
+    threads: Option<usize>,
+    scratch: &mut Vec<f64>,
+    fill: F,
+) where
+    F: Fn(Range<usize>, &mut StdRng, &mut [f64]) + Sync,
+{
     let shards = n_shards(n_points);
+    scratch.clear();
     if buf_len == 0 {
-        return Vec::new();
+        return;
     }
     // One contiguous allocation, one disjoint chunk per shard.
-    let mut bufs = vec![0.0f64; shards * buf_len];
-    bufs.par_chunks_mut(buf_len).with_threads(threads).enumerate().for_each(|(s, buf)| {
+    scratch.resize(shards * buf_len, 0.0);
+    scratch.par_chunks_mut(buf_len).with_threads(threads).enumerate().for_each(|(s, buf)| {
         let mut rng = shard_rng(master_seed, s as u64);
         fill(shard_range(s, n_points), &mut rng, buf);
     });
-    let (merged, rest) = bufs.split_at_mut(buf_len);
+    let (merged, rest) = scratch.split_at_mut(buf_len);
     for buf in rest.chunks(buf_len) {
         for (acc, &v) in merged.iter_mut().zip(buf) {
             *acc += v;
         }
     }
-    bufs.truncate(buf_len);
-    bufs
+    scratch.truncate(buf_len);
 }
 
 #[cfg(test)]
@@ -117,6 +140,27 @@ mod tests {
             let same = reference.iter().zip(&got).all(|(a, b)| a.to_bits() == b.to_bits());
             assert!(same, "threads {threads:?} diverged from the sequential reference");
         }
+    }
+
+    #[test]
+    fn scratch_variant_matches_and_reuses_allocation() {
+        let n = SHARD_SIZE + 123;
+        let fill = |range: Range<usize>, rng: &mut StdRng, buf: &mut [f64]| {
+            for _ in range {
+                buf[rng.gen_range(0usize..16)] += 1.0;
+            }
+        };
+        let owned = sharded_accumulate(n, 16, 7, Some(2), fill);
+        let mut scratch = Vec::new();
+        sharded_accumulate_in(n, 16, 7, Some(2), &mut scratch, fill);
+        assert_eq!(owned, scratch);
+        // Second epoch against the same shape: no reallocation.
+        let cap = scratch.capacity();
+        let ptr = scratch.as_ptr();
+        sharded_accumulate_in(n, 16, 8, Some(2), &mut scratch, fill);
+        assert_eq!(scratch.capacity(), cap);
+        assert_eq!(scratch.as_ptr(), ptr);
+        assert_eq!(scratch.iter().sum::<f64>(), n as f64, "stale counts must not leak");
     }
 
     #[test]

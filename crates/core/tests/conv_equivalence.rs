@@ -146,7 +146,7 @@ proptest! {
         prop_assume!(counts.iter().sum::<f64>() > 0.0);
         // Fixed iteration count: every operator must walk the same
         // trajectory, not merely stop near the same optimum.
-        let params = EmParams { max_iters: 60, rel_tol: 0.0 };
+        let params = EmParams { max_iters: 60, rel_tol: 0.0, gain_tol: 0.0 };
         let fd = expectation_maximization(&dense, &counts, None, params);
         let fc = expectation_maximization(&conv, &counts, None, params);
         let ff = expectation_maximization(&fft, &counts, None, params);
@@ -261,7 +261,7 @@ fn post_process_backends_agree_end_to_end() {
             .iter()
             .map(|x| (x * 50.0).round())
             .collect::<Vec<_>>();
-        let params = EmParams { max_iters: 40, rel_tol: 0.0 };
+        let params = EmParams { max_iters: 40, rel_tol: 0.0, gain_tol: 0.0 };
         let auto = post_process(&kernel, &counts, &grid, PostProcess::Em, params);
         for backend in [EmBackend::Convolution, EmBackend::Dense, EmBackend::Fft] {
             let explicit =

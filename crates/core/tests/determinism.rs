@@ -61,7 +61,7 @@ fn fft_backend_estimate_is_bit_identical_for_any_thread_count() {
     let grid = Grid2D::new(BoundingBox::unit(), 48);
     let points = span_points(SHARD_SIZE + 777);
     // Bounded, tolerance-free EM: every run walks the same 25 iterations.
-    let em = dam_fo::em::EmParams { max_iters: 25, rel_tol: 0.0 };
+    let em = dam_fo::em::EmParams { max_iters: 25, rel_tol: 0.0, gain_tol: 0.0 };
     let estimate_with = |threads: Option<usize>| {
         let config =
             DamConfig { b_hat: Some(16), em, backend: EmBackend::Fft, ..DamConfig::dam(2.0) }

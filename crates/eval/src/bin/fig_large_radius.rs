@@ -33,7 +33,7 @@ fn main() {
     let args = CliArgs::parse();
     let ctx = EvalContext::from_args(&args);
     let radii: &[u32] = if args.fast { &[4, 16, 32] } else { &[4, 8, 16, 32] };
-    let em = EmParams { max_iters: if args.fast { 40 } else { 150 }, rel_tol: 0.0 };
+    let em = EmParams { max_iters: if args.fast { 40 } else { 150 }, rel_tol: 0.0, gain_tol: 0.0 };
 
     let ds = ctx.dataset(DatasetKind::Normal);
     let part = &ds.parts[0];

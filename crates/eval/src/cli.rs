@@ -39,6 +39,12 @@ pub struct CliArgs {
     /// (default: available parallelism). Results are bit-identical for
     /// any value — this is a wall-clock knob, not a semantics knob.
     pub threads: Option<usize>,
+    /// Stream length in epochs for the continual-observation binaries
+    /// (`--epochs N`; each binary picks its own default).
+    pub epochs: Option<usize>,
+    /// Sliding-window length in epochs for the continual-observation
+    /// binaries (`--window W`).
+    pub window: Option<usize>,
 }
 
 impl Default for CliArgs {
@@ -54,6 +60,8 @@ impl Default for CliArgs {
             em_backend: EmBackend::Auto,
             w2_solver: W2Solver::Auto,
             threads: None,
+            epochs: None,
+            window: None,
         }
     }
 }
@@ -99,9 +107,19 @@ impl CliArgs {
                     assert!(n >= 1, "--threads must be at least 1");
                     out.threads = Some(n);
                 }
+                "--epochs" => {
+                    let n: usize = value("--epochs").parse().expect("bad --epochs");
+                    assert!(n >= 1, "--epochs must be at least 1");
+                    out.epochs = Some(n);
+                }
+                "--window" => {
+                    let n: usize = value("--window").parse().expect("bad --window");
+                    assert!(n >= 1, "--window must be at least 1");
+                    out.window = Some(n);
+                }
                 other => panic!(
                     "unknown flag {other}; known: --repeats --users --seed --out --fast \
-                     --no-calib --em-backend --dense-em --w2-solver --threads"
+                     --no-calib --em-backend --dense-em --w2-solver --threads --epochs --window"
                 ),
             }
         }
@@ -212,6 +230,20 @@ mod tests {
         // … but an explicit --users always wins.
         let b = parse("--fast --users 1234").with_full_users();
         assert_eq!(b.users, Some(1234));
+    }
+
+    #[test]
+    fn stream_flags_parse() {
+        let a = parse("--epochs 32 --window 5");
+        assert_eq!(a.epochs, Some(32));
+        assert_eq!(a.window, Some(5));
+        assert!(parse("").epochs.is_none() && parse("").window.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "--window must be at least 1")]
+    fn rejects_zero_window() {
+        parse("--window 0");
     }
 
     #[test]

@@ -36,6 +36,16 @@ fn fnv1a_field(mut h: u64, bytes: &[u8]) -> u64 {
     (h ^ 0xFF).wrapping_mul(FNV_PRIME)
 }
 
+/// Deterministic RNG stream key for a task identified by a single label
+/// (the one-field analogue of [`job_stream`], e.g. one stream per
+/// mechanism in a streaming figure): FNV-1a over the label mixed with
+/// the experiment seed. Content-keyed — adding a task never perturbs the
+/// others' randomness.
+pub fn label_stream(seed: u64, label: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    splitmix64(seed ^ splitmix64(fnv1a_field(FNV_OFFSET, label.as_bytes())))
+}
+
 /// Deterministic RNG stream key derived from a job's content — dataset
 /// label, mechanism label, grid resolution and the exact bits of ε —
 /// never from the job's position in the job vector. Inserting, removing

@@ -186,13 +186,62 @@ pub struct EmParams {
     pub max_iters: usize,
     /// Stop when the relative log-likelihood improvement falls below this.
     pub rel_tol: f64,
+    /// Stop when the **per-report** log-likelihood gain of one iteration
+    /// falls below this (`0.0` disables — the historical behaviour).
+    /// `rel_tol` divides by the total likelihood, whose magnitude grows
+    /// with the report count, so it effectively tightens as streams get
+    /// heavier; the per-report gain is scale-free. Because the threshold
+    /// is on *marginal fit quality*, a warm-started run and a cold run
+    /// stop at the same point of their shared objective — the warm run
+    /// just starts near it, which is what turns steady-state streaming
+    /// windows into a handful of iterations.
+    pub gain_tol: f64,
 }
 
 impl Default for EmParams {
     fn default() -> Self {
-        Self { max_iters: 1000, rel_tol: 1e-7 }
+        Self { max_iters: 1000, rel_tol: 1e-7, gain_tol: 0.0 }
     }
 }
+
+impl EmParams {
+    /// Warm streaming-window defaults: a **small iteration budget** plus
+    /// the per-report-gain early stop. The budget is doing double duty.
+    /// EM for this deconvolution problem *overfits the privacy noise* as
+    /// it approaches the ML optimum (classic Richardson–Lucy behaviour:
+    /// estimation error against the true distribution is U-shaped in the
+    /// iteration count), so early stopping is the regularizer — and a
+    /// warm start from the previous window's already-regularized estimate
+    /// only needs a few steps to absorb one epoch's worth of new
+    /// evidence. Measured in `fig_stream` (with the diffusion-forecast
+    /// seed of `dam_stream`): this budget tracks moving foci with TV/W₂
+    /// at parity or better against the one-shot 150-iteration protocol
+    /// at 3× fewer iterations per window (50 vs 150).
+    pub fn streaming() -> Self {
+        Self { max_iters: 50, rel_tol: 1e-9, gain_tol: 1e-7 }
+    }
+}
+
+/// Outcome of one EM run: the estimate plus how many iterations it took —
+/// the accounting a warm-started (streaming) caller needs to measure how
+/// much a previous window's solution buys over the cold uniform start.
+#[derive(Debug, Clone)]
+pub struct EmRun {
+    /// Estimated input distribution (sums to 1).
+    pub estimate: Vec<f64>,
+    /// Iterations actually executed (≤ `EmParams::max_iters`).
+    pub iters: usize,
+}
+
+/// Zero-guard blend for warm starts: EM's multiplicative update can never
+/// regrow an exactly-zero coordinate, so a warm start that inherits hard
+/// zeros would be blind to mass moving into previously-empty cells. The
+/// blend here is the *minimal* guard that keeps every coordinate alive;
+/// callers tracking a **moving** distribution should mix their own, much
+/// stronger uniform share into `init` before calling (growth from a tiny
+/// floor is geometric, so a near-zero launch level makes EM crawl — see
+/// `dam_stream`'s tracking blend).
+const WARM_UNIFORM_MIX: f64 = 1e-6;
 
 /// Runs EM (optionally with a smoothing step — "EMS") and returns the
 /// estimated input distribution (sums to 1).
@@ -221,18 +270,53 @@ pub fn expectation_maximization_in<C: ChannelOp + ?Sized>(
     params: EmParams,
     ws: &mut EmWorkspace,
 ) -> Vec<f64> {
+    expectation_maximization_warm(channel, counts, None, smoother, params, ws).estimate
+}
+
+/// [`expectation_maximization_in`] with an optional **warm start** and
+/// iteration accounting.
+///
+/// `init`, when provided, seeds the iteration with a previous estimate
+/// (blended with a tiny uniform floor so exact zeros stay recoverable)
+/// instead of the uniform distribution. A warm start near the optimum
+/// converges under `params.rel_tol` in a handful of iterations — the
+/// mechanism the sliding-window streaming estimator relies on — and the
+/// returned [`EmRun::iters`] records exactly how many it took, so callers
+/// can measure the warm-vs-cold ratio.
+pub fn expectation_maximization_warm<C: ChannelOp + ?Sized>(
+    channel: &C,
+    counts: &[f64],
+    init: Option<&[f64]>,
+    smoother: Option<&dyn Fn(&mut [f64])>,
+    params: EmParams,
+    ws: &mut EmWorkspace,
+) -> EmRun {
     assert_eq!(counts.len(), channel.n_out(), "counts do not match channel outputs");
     let n_total: f64 = counts.iter().sum();
     assert!(n_total > 0.0, "no observations");
     let (n_out, n_in) = (channel.n_out(), channel.n_in());
 
-    let mut f = vec![1.0 / n_in as f64; n_in];
+    let uniform = 1.0 / n_in as f64;
+    let mut f = match init {
+        Some(prev) => {
+            assert_eq!(prev.len(), n_in, "warm start does not match channel inputs");
+            let mut f: Vec<f64> = prev
+                .iter()
+                .map(|&p| (1.0 - WARM_UNIFORM_MIX) * p + WARM_UNIFORM_MIX * uniform)
+                .collect();
+            normalize(&mut f);
+            f
+        }
+        None => vec![uniform; n_in],
+    };
     let mut f_new = vec![0.0f64; n_in];
     let mut out = vec![0.0f64; n_out];
     let mut weights = vec![0.0f64; n_out];
     let mut prev_ll = f64::NEG_INFINITY;
+    let mut iters = 0usize;
 
     for _ in 0..params.max_iters {
+        iters += 1;
         // E: predicted output distribution under the current estimate.
         channel.apply(&f, &mut out, ws);
         // M: multiplicative update through the adjoint.
@@ -255,14 +339,17 @@ pub fn expectation_maximization_in<C: ChannelOp + ?Sized>(
             }
         }
         if prev_ll.is_finite() {
-            let denom = prev_ll.abs().max(1e-12);
-            if (ll - prev_ll).abs() / denom < params.rel_tol {
+            let gain = (ll - prev_ll).abs();
+            if gain / prev_ll.abs().max(1e-12) < params.rel_tol {
+                break;
+            }
+            if params.gain_tol > 0.0 && gain / n_total < params.gain_tol {
                 break;
             }
         }
         prev_ll = ll;
     }
-    f
+    EmRun { estimate: f, iters }
 }
 
 /// The 1-D binomial smoother of SW-EMS: weighted average with kernel
@@ -341,7 +428,7 @@ mod tests {
             &ch,
             &counts,
             None,
-            EmParams { max_iters: 5000, rel_tol: 1e-12 },
+            EmParams { max_iters: 5000, rel_tol: 1e-12, gain_tol: 0.0 },
         );
         for i in 0..3 {
             assert!((f[i] - input[i]).abs() < 1e-3, "bin {i}: {} vs {}", f[i], input[i]);
@@ -460,6 +547,81 @@ mod tests {
         assert_eq!(a2.len(), 48);
         assert!(a2[..32].iter().all(|&x| x == 1.0));
         assert!(a2[32..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn warm_start_converges_in_fewer_iterations() {
+        // Cold vs warm on the same counts: seeding with the converged
+        // estimate must hit the relative-tolerance stop in a handful of
+        // iterations, and land on (numerically) the same optimum.
+        let ch = noisy_channel(6, 0.55);
+        let counts = [400.0, 250.0, 150.0, 100.0, 60.0, 40.0];
+        let params = EmParams { max_iters: 500, rel_tol: 1e-9, gain_tol: 0.0 };
+        let mut ws = EmWorkspace::new();
+        let cold = expectation_maximization_warm(&ch, &counts, None, None, params, &mut ws);
+        let warm = expectation_maximization_warm(
+            &ch,
+            &counts,
+            Some(&cold.estimate),
+            None,
+            params,
+            &mut ws,
+        );
+        assert!(
+            warm.iters < cold.iters / 2,
+            "warm start took {} iters vs cold {}",
+            warm.iters,
+            cold.iters
+        );
+        for (w, c) in warm.estimate.iter().zip(&cold.estimate) {
+            assert!((w - c).abs() < 1e-4, "warm and cold optima diverged: {w} vs {c}");
+        }
+    }
+
+    #[test]
+    fn warm_start_escapes_inherited_zeros() {
+        // A warm start carrying a hard zero must still be able to put
+        // mass there (the uniform blend keeps the coordinate alive).
+        let ch = noisy_channel(3, 0.7);
+        let input = [0.2, 0.3, 0.5];
+        let mut counts = vec![0.0; 3];
+        for o in 0..3 {
+            for i in 0..3 {
+                counts[o] += 1e6 * ch.at(o, i) * input[i];
+            }
+        }
+        let stale = [0.5, 0.5, 0.0];
+        let run = expectation_maximization_warm(
+            &ch,
+            &counts,
+            Some(&stale),
+            None,
+            EmParams { max_iters: 5000, rel_tol: 1e-12, gain_tol: 0.0 },
+            &mut EmWorkspace::new(),
+        );
+        assert!(
+            (run.estimate[2] - 0.5).abs() < 1e-3,
+            "zeroed coordinate failed to regrow: {}",
+            run.estimate[2]
+        );
+    }
+
+    #[test]
+    fn warm_entry_without_init_matches_cold_path() {
+        let ch = noisy_channel(4, 0.6);
+        let counts = [40.0, 30.0, 20.0, 10.0];
+        let params = EmParams::default();
+        let via_in = expectation_maximization(&ch, &counts, None, params);
+        let via_warm = expectation_maximization_warm(
+            &ch,
+            &counts,
+            None,
+            None,
+            params,
+            &mut EmWorkspace::new(),
+        );
+        assert_eq!(via_in, via_warm.estimate, "delegation must be exact");
+        assert!(via_warm.iters >= 1 && via_warm.iters <= params.max_iters);
     }
 
     #[test]

@@ -126,7 +126,7 @@ proptest! {
                 &ch,
                 &counts,
                 None,
-                EmParams { max_iters: iters, rel_tol: 0.0 },
+                EmParams { max_iters: iters, rel_tol: 0.0, gain_tol: 0.0 },
             );
             let cur = ll(&f);
             prop_assert!(cur + 1e-6 >= prev, "likelihood fell: {prev} -> {cur} at {iters}");

@@ -1,0 +1,405 @@
+//! The sliding-window streaming facade over the one-shot SAM pipeline.
+//!
+//! [`StreamingEstimator`] owns everything a continual deployment keeps
+//! alive between epochs:
+//!
+//! * the [`DamClient`] (kernel + response tables, built once);
+//! * the resolved [`EmOperator`] (stencil offsets or FFT plan + kernel
+//!   spectrum, built once — every window's PostProcess reuses it);
+//! * an [`EpochRing`] maintaining the exact sliding-window counts
+//!   incrementally (one plane add + one subtract per epoch);
+//! * a [`CountTree`] over the full epoch history for O(log T) prefix and
+//!   arbitrary-window queries;
+//! * a long-lived [`EmWorkspace`] plus the previous window's estimate, so
+//!   each window's EM **warm-starts** from the last solution under the
+//!   small `warm_em` budget ([`WindowEstimate::em_iters`] records the
+//!   count; [`StreamingEstimator::estimate_window_cold`] is the
+//!   uniform-start reference for the ratio).
+//!
+//! # Why a small warm budget beats running EM to convergence
+//!
+//! PostProcess is a deconvolution: EM driven to its ML optimum **fits
+//! the privacy noise**, so estimation error against the true
+//! distribution is U-shaped in the iteration count and early stopping is
+//! the regularizer (the one-shot figures' 150-iteration protocol sits on
+//! that curve too). The streaming advantage is that the previous
+//! window's estimate is already a *regularized* solution fitted to
+//! mostly-shared counts: diffused one smoothing pass (the
+//! motion-agnostic forecast of a slightly-moved distribution) and
+//! blended with a sliver of uniform, it only needs a few warm
+//! iterations to absorb the one new epoch's evidence without
+//! re-approaching the overfitting regime. That is how the warm path
+//! matches — and in low-data regimes beats — the cold protocol's
+//! accuracy at a fraction of its iterations, measured per window in
+//! `fig_stream` and `BENCH_stream.json`.
+//!
+//! Determinism: epoch `e`'s reports are keyed by a SplitMix64 stream over
+//! `(seed, e)` and fan out through the sharded pipeline, so ingestion —
+//! and therefore every window estimate — is bit-identical for any
+//! `threads` value (the crate's determinism suite pins it end to end).
+
+use crate::ring::EpochRing;
+use crate::tree::CountTree;
+use dam_core::em2d::smooth_2d;
+use dam_core::{DamClient, DamConfig, EmOperator};
+use dam_fo::em::{EmParams, EmWorkspace};
+use dam_geo::rng::splitmix64;
+use dam_geo::{Grid2D, Histogram2D, Point};
+
+/// Salt separating per-epoch report streams from every other derived
+/// stream in the workspace.
+const EPOCH_SALT: u64 = 0x5712_4A40_BEC0_0001;
+
+/// Configuration of the continual-observation pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamConfig {
+    /// The wrapped one-shot pipeline: SAM variant, ε, radius, backend and
+    /// thread budget all apply per window unchanged. `dam.em` is the
+    /// **cold** protocol — it runs the first window and the
+    /// [`StreamingEstimator::estimate_window_cold`] reference.
+    pub dam: DamConfig,
+    /// Sliding-window length in epochs.
+    pub window: usize,
+    /// Master seed; epoch `e` reports through stream `(seed, e)`.
+    pub seed: u64,
+    /// Laplace scale for the continual-counting tree's per-node noise
+    /// (`0.0`, the LDP default: reports are already private, the tree is
+    /// a query-cost structure only).
+    pub noise_scale: f64,
+    /// EM knobs for **warm-started** windows ([`EmParams::streaming`] by
+    /// default): a small iteration budget — which doubles as the
+    /// early-stopping regularizer against noise overfitting — plus the
+    /// per-report-gain tolerance that exits after a couple of iterations
+    /// when the window barely changed.
+    pub warm_em: EmParams,
+    /// Uniform share blended into the forecast before it seeds the next
+    /// window's EM. Mass growth under EM's multiplicative update is
+    /// geometric from the starting level, so tracking a *moving*
+    /// distribution needs every cell at a viable launch level; 5% costs
+    /// little in steady state and keeps far-field jumps recoverable.
+    pub warm_mix: f64,
+    /// Diffusion-forecast passes: how many times the 3×3 binomial
+    /// smoother is applied to the diffused half of the warm seed
+    /// (`seed = (prev + smoothed)/2` before the uniform blend). A
+    /// sliding window's distribution is the old one *moved a little* in
+    /// an unknown direction; the smoothing pass is exactly that
+    /// motion-agnostic forecast, handing the leading edge of a drifting
+    /// focus real mass (a uniform blend alone leaves it at `mix/d²`,
+    /// which multiplicative EM is slow to grow), while the undiffused
+    /// half keeps the fitted sharpness W₂ rewards. Measured in the
+    /// fig_stream regimes: this seed turns warm tracking from ~25% worse
+    /// TV than the cold protocol into better-on-both-metrics.
+    pub forecast_smooth: usize,
+}
+
+impl StreamConfig {
+    /// A streaming pipeline over `dam` with the given window length and
+    /// the measured warm-window defaults.
+    pub fn new(dam: DamConfig, window: usize, seed: u64) -> Self {
+        Self {
+            dam,
+            window,
+            seed,
+            noise_scale: 0.0,
+            warm_em: EmParams::streaming(),
+            warm_mix: 0.05,
+            forecast_smooth: 1,
+        }
+    }
+}
+
+/// One window's estimate plus the EM accounting the streaming story is
+/// about.
+#[derive(Debug, Clone)]
+pub struct WindowEstimate {
+    /// Normalized estimate over the input grid.
+    pub histogram: Histogram2D,
+    /// EM iterations this window took.
+    pub em_iters: usize,
+    /// Whether the run warm-started from a previous window's estimate.
+    pub warm: bool,
+}
+
+/// Continual-observation wrapper around the SAM pipeline: ingest
+/// timestamped report batches epoch by epoch, read a sliding-window
+/// estimate at any time.
+pub struct StreamingEstimator {
+    config: StreamConfig,
+    client: DamClient,
+    operator: EmOperator,
+    grid: Grid2D,
+    ring: EpochRing,
+    tree: CountTree,
+    scratch: Vec<f64>,
+    ws: EmWorkspace,
+    prev: Option<Vec<f64>>,
+    epochs: usize,
+    reports: u64,
+}
+
+impl StreamingEstimator {
+    /// Builds the pipeline for an input grid (kernel, EM operator and
+    /// buffers are constructed here, once).
+    pub fn new(grid: Grid2D, config: StreamConfig) -> Self {
+        assert!(config.window > 0, "window must hold at least one epoch");
+        let client = DamClient::new(grid.clone(), &config.dam);
+        let operator = EmOperator::new(client.kernel(), config.dam.backend);
+        let n_out = client.kernel().n_out();
+        let tree_seed = splitmix64(config.seed ^ EPOCH_SALT);
+        Self {
+            client,
+            operator,
+            grid,
+            ring: EpochRing::new(n_out, config.window),
+            tree: CountTree::new(n_out, config.noise_scale, tree_seed, config.dam.threads),
+            scratch: Vec::new(),
+            ws: EmWorkspace::new(),
+            prev: None,
+            epochs: 0,
+            reports: 0,
+            config,
+        }
+    }
+
+    /// Epochs ingested so far.
+    #[inline]
+    pub fn epochs(&self) -> usize {
+        self.epochs
+    }
+
+    /// Total reports ingested so far.
+    #[inline]
+    pub fn reports(&self) -> u64 {
+        self.reports
+    }
+
+    /// The configuration in use.
+    #[inline]
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// The underlying client (kernel, grid, response tables).
+    #[inline]
+    pub fn client(&self) -> &DamClient {
+        &self.client
+    }
+
+    /// The continual-counting tree over the full epoch history.
+    #[inline]
+    pub fn tree(&self) -> &CountTree {
+        &self.tree
+    }
+
+    /// The exact noisy-report counts of the current sliding window.
+    #[inline]
+    pub fn window_counts(&self) -> &[f64] {
+        self.ring.window_counts()
+    }
+
+    /// Reports inside the current sliding window.
+    pub fn window_total(&self) -> f64 {
+        self.ring.window_counts().iter().sum()
+    }
+
+    /// The deterministic master seed keying epoch `epoch`'s shard streams.
+    pub fn epoch_seed(seed: u64, epoch: usize) -> u64 {
+        splitmix64(seed ^ splitmix64(epoch as u64 ^ EPOCH_SALT))
+    }
+
+    /// Ingests one epoch's points: randomizes every point through the
+    /// sharded report pipeline (bit-identical for any thread count),
+    /// slides the window forward and appends the epoch plane to the
+    /// continual-counting tree. Returns the epoch index just ingested.
+    ///
+    /// The randomize/aggregate/window hot path reuses its buffers (shard
+    /// scratch and ring slots); the tree, by contrast, *retains* each
+    /// epoch — one O(n_cells) plane copy per epoch plus the amortized
+    /// dyadic parents, O(T·n_cells) total over the stream's life. That
+    /// history is what the O(log T) queries read; see the ROADMAP open
+    /// item on a retention policy for bounding it.
+    pub fn ingest_epoch(&mut self, points: &[Point]) -> usize {
+        let seed = Self::epoch_seed(self.config.seed, self.epochs);
+        self.client.report_batch_in(points, seed, self.config.dam.threads, &mut self.scratch);
+        self.ring.push(&self.scratch);
+        self.tree.append(&self.scratch);
+        self.reports += points.len() as u64;
+        let epoch = self.epochs;
+        self.epochs += 1;
+        epoch
+    }
+
+    /// The current sliding-window estimate, **warm-started** from the
+    /// previous window's solution when one exists (half-diffused by
+    /// `forecast_smooth` binomial passes, blended with `warm_mix`
+    /// uniform, run under the `warm_em` budget; the first window runs
+    /// the cold `dam.em` protocol). Stores the raw result as the next
+    /// window's warm start.
+    pub fn estimate_window(&mut self) -> WindowEstimate {
+        let init = match self.prev.take() {
+            Some(prev) => {
+                let mut diffused = prev.clone();
+                for _ in 0..self.config.forecast_smooth {
+                    smooth_2d(self.grid.d() as usize, &mut diffused);
+                }
+                let u = self.config.warm_mix / prev.len() as f64;
+                let mix = self.config.warm_mix;
+                // Half the mass keeps the fitted sharpness, half carries
+                // the diffusion forecast — enough leading-edge mass to
+                // track drift without paying the full blur in W₂.
+                let seed: Vec<f64> = prev
+                    .iter()
+                    .zip(&diffused)
+                    .map(|(&p, &s)| (1.0 - mix) * (0.5 * p + 0.5 * s) + u)
+                    .collect();
+                Some(seed)
+            }
+            None => None,
+        };
+        let est = self.run_em(init.as_deref());
+        self.prev = Some(est.histogram.values().to_vec());
+        est
+    }
+
+    /// The cold-start reference: same window counts, uniform EM
+    /// initialisation under the full one-shot `dam.em` protocol, no
+    /// stored state touched. The
+    /// `estimate_window().em_iters / estimate_window_cold().em_iters`
+    /// ratio is the headline warm-start saving.
+    pub fn estimate_window_cold(&mut self) -> WindowEstimate {
+        self.run_em(None)
+    }
+
+    /// Drops the warm-start state (the next [`Self::estimate_window`]
+    /// runs cold) — e.g. after a known distribution break.
+    pub fn reset_warm_state(&mut self) {
+        self.prev = None;
+    }
+
+    fn run_em(&mut self, init: Option<&[f64]>) -> WindowEstimate {
+        let counts = self.ring.window_counts();
+        if counts.iter().sum::<f64>() <= 0.0 {
+            // An empty window carries no information; report uniform.
+            let n = self.grid.n_cells();
+            let uniform = Histogram2D::from_values(self.grid.clone(), vec![1.0 / n as f64; n]);
+            return WindowEstimate { histogram: uniform, em_iters: 0, warm: init.is_some() };
+        }
+        let warm = init.is_some();
+        let params = if warm { self.config.warm_em } else { self.config.dam.em };
+        let (histogram, em_iters) = self.operator.post_process_warm(
+            counts,
+            &self.grid,
+            self.config.dam.post,
+            params,
+            init,
+            &mut self.ws,
+        );
+        WindowEstimate { histogram, em_iters, warm }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_fo::em::EmParams;
+    use dam_geo::BoundingBox;
+
+    fn focus_points(center: (f64, f64), n: usize, salt: u64) -> Vec<Point> {
+        (0..n)
+            .map(|i| {
+                let a = splitmix64(salt ^ i as u64) as f64 / u64::MAX as f64;
+                let b = splitmix64(salt ^ (i as u64) << 1 ^ 0xABCD) as f64 / u64::MAX as f64;
+                Point::new(
+                    (center.0 + 0.08 * (a - 0.5)).clamp(0.0, 1.0),
+                    (center.1 + 0.08 * (b - 0.5)).clamp(0.0, 1.0),
+                )
+            })
+            .collect()
+    }
+
+    fn stream_config(window: usize) -> StreamConfig {
+        // `dam.em` is the cold one-shot protocol; warm windows run the
+        // `EmParams::streaming()` budget set by `StreamConfig::new`.
+        let dam = DamConfig {
+            em: EmParams { max_iters: 150, rel_tol: 1e-9, gain_tol: 1e-7 },
+            ..DamConfig::dam(4.0)
+        };
+        StreamConfig::new(dam, window, 7)
+    }
+
+    #[test]
+    fn window_tracks_a_moving_focus() {
+        let grid = Grid2D::new(BoundingBox::unit(), 8);
+        let mut s = StreamingEstimator::new(grid.clone(), stream_config(3));
+        // Six epochs at a left focus, then six at a right focus: after the
+        // window slides fully onto the new focus the estimate must follow.
+        for e in 0..6 {
+            s.ingest_epoch(&focus_points((0.15, 0.5), 8_000, e));
+        }
+        let left = s.estimate_window();
+        for e in 6..12 {
+            s.ingest_epoch(&focus_points((0.85, 0.5), 8_000, e));
+        }
+        let right = s.estimate_window();
+        let cell_of = |x: f64| grid.cell_of(Point::new(x, 0.5));
+        assert!(left.histogram.get(cell_of(0.15)) > 0.3, "left focus not localised");
+        assert!(right.histogram.get(cell_of(0.85)) > 0.3, "right focus not localised");
+        assert!(right.histogram.get(cell_of(0.15)) < 0.05, "stale mass survived the slide");
+        assert!(right.warm && !left.warm);
+    }
+
+    #[test]
+    fn warm_start_uses_fewer_iterations_in_steady_state() {
+        let grid = Grid2D::new(BoundingBox::unit(), 8);
+        let mut s = StreamingEstimator::new(grid, stream_config(4));
+        for e in 0..4 {
+            s.ingest_epoch(&focus_points((0.4, 0.6), 6_000, e));
+        }
+        s.estimate_window();
+        // Steady state: one more near-identical epoch slides in.
+        s.ingest_epoch(&focus_points((0.4, 0.6), 6_000, 99));
+        let cold = s.estimate_window_cold();
+        let warm = s.estimate_window();
+        assert!(warm.warm && !cold.warm);
+        assert!(
+            warm.em_iters * 2 < cold.em_iters,
+            "warm {} vs cold {} iterations",
+            warm.em_iters,
+            cold.em_iters
+        );
+        // Both converge to the same optimum (same counts, same channel).
+        let tv = warm.histogram.tv_distance(&cold.histogram);
+        assert!(tv < 0.02, "warm/cold estimates diverged: tv {tv}");
+    }
+
+    #[test]
+    fn empty_window_reports_uniform() {
+        let grid = Grid2D::new(BoundingBox::unit(), 4);
+        let mut s = StreamingEstimator::new(grid, stream_config(2));
+        s.ingest_epoch(&[]);
+        let est = s.estimate_window();
+        assert_eq!(est.em_iters, 0);
+        assert!(est.histogram.values().iter().all(|&v| (v - 1.0 / 16.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn tree_and_ring_agree_on_the_current_window() {
+        let grid = Grid2D::new(BoundingBox::unit(), 6);
+        let mut s = StreamingEstimator::new(grid, stream_config(3));
+        for e in 0..7 {
+            s.ingest_epoch(&focus_points((0.5, 0.5), 2_000, e));
+        }
+        // The ring's incremental window equals the tree's dyadic query
+        // for the same epoch range (both exact integer sums).
+        let from_tree = s.tree().window(4, 7);
+        assert_eq!(s.window_counts(), &from_tree[..]);
+    }
+
+    #[test]
+    fn epoch_seeds_are_distinct_streams() {
+        let a = StreamingEstimator::epoch_seed(7, 0);
+        let b = StreamingEstimator::epoch_seed(7, 1);
+        let c = StreamingEstimator::epoch_seed(8, 0);
+        assert!(a != b && a != c && b != c);
+    }
+}

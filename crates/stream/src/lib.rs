@@ -1,0 +1,37 @@
+//! # dam-stream — continual-observation spatial estimation
+//!
+//! Every other pipeline in the workspace is one-shot: collect reports,
+//! run EM, print a figure. This crate is the **streaming** layer the
+//! paper's motivating workloads (POI heatmaps, epidemic tracking) really
+//! need — timestamped reports arrive in *epochs* and a sliding-window
+//! estimate is available at all times:
+//!
+//! * [`tree`] — binary-tree **continual counting** over count planes
+//!   (Chan–Shi–Song dyadic intervals): any prefix or window of the report
+//!   stream costs O(log T) plane reads, and the optional central-DP mode
+//!   pays only an O(log T) noise-variance factor per node
+//!   ([`tree::CountTree`]);
+//! * [`ring`] — the **epoch ring buffer** ([`ring::EpochRing`]): the
+//!   last W epoch planes with the sliding-window sum maintained
+//!   incrementally and exactly (whole-number counts), slots reused in
+//!   place;
+//! * [`estimator`] — the [`estimator::StreamingEstimator`] facade wrapping
+//!   `dam_core::DamConfig`: epochs ingest through the deterministic
+//!   sharded report pipeline (bit-identical for any thread count), each
+//!   window's EM **warm-starts** from the previous window's estimate via
+//!   a long-lived operator + workspace, converging in a few iterations in
+//!   steady state instead of a cold run's hundreds. All SAM variants and
+//!   EM backends ride it unchanged.
+//!
+//! `cargo run --release -p dam-eval --bin fig_stream` drives the
+//! moving-foci evaluation; `cargo bench -p dam-bench --bench streaming`
+//! regenerates `BENCH_stream.json` (ingest throughput, warm-vs-cold EM
+//! iteration ratio, O(log T) window-query scaling).
+
+pub mod estimator;
+pub mod ring;
+pub mod tree;
+
+pub use estimator::{StreamConfig, StreamingEstimator, WindowEstimate};
+pub use ring::EpochRing;
+pub use tree::CountTree;

@@ -1,0 +1,98 @@
+//! Property tests for the continual-counting tree and the epoch ring:
+//! noise-free dyadic queries must match a naive accumulator **exactly**
+//! (whole-number counts make every sum exact f64 integer arithmetic), and
+//! the ring's incremental window sum must match a from-scratch rescan
+//! bit for bit.
+
+use dam_stream::{CountTree, EpochRing};
+use proptest::prelude::*;
+
+/// Naive reference: sum epoch planes `[t0, t1)` cell by cell.
+fn naive_window(planes: &[Vec<f64>], t0: usize, t1: usize, n_cells: usize) -> Vec<f64> {
+    let mut acc = vec![0.0; n_cells];
+    for plane in &planes[t0..t1] {
+        for (a, &v) in acc.iter_mut().zip(plane) {
+            *a += v;
+        }
+    }
+    acc
+}
+
+/// Strategy: a stream of small whole-number count planes.
+fn plane_stream() -> impl Strategy<Value = (usize, Vec<Vec<f64>>)> {
+    (1usize..12, 1usize..24).prop_flat_map(|(n_cells, epochs)| {
+        let plane = prop::collection::vec(0u32..50, n_cells..n_cells + 1)
+            .prop_map(|v| v.into_iter().map(f64::from).collect::<Vec<f64>>());
+        (Just(n_cells), prop::collection::vec(plane, epochs..epochs + 1))
+    })
+}
+
+proptest! {
+    #[test]
+    fn exact_prefix_matches_naive_accumulator(stream in plane_stream()) {
+        let (n_cells, planes) = stream;
+        let mut tree = CountTree::exact(n_cells);
+        for plane in &planes {
+            tree.append(plane);
+        }
+        for t in 0..=planes.len() {
+            prop_assert_eq!(tree.prefix(t), naive_window(&planes, 0, t, n_cells));
+        }
+    }
+
+    #[test]
+    fn exact_window_matches_naive_accumulator(
+        stream in plane_stream(),
+        bounds in (0usize..=24, 0usize..=24),
+    ) {
+        let (n_cells, planes) = stream;
+        let mut tree = CountTree::exact(n_cells);
+        for plane in &planes {
+            tree.append(plane);
+        }
+        let t0 = bounds.0.min(planes.len());
+        let t1 = bounds.1.min(planes.len());
+        let (t0, t1) = (t0.min(t1), t0.max(t1));
+        prop_assert_eq!(tree.window(t0, t1), naive_window(&planes, t0, t1, n_cells));
+    }
+
+    #[test]
+    fn prefix_reads_at_most_log_t_nodes(t in 0usize..100_000) {
+        let bound = if t == 0 { 0 } else { t.ilog2() as usize + 1 };
+        prop_assert!(CountTree::prefix_nodes(t) <= bound);
+    }
+
+    #[test]
+    fn ring_incremental_sum_is_bit_identical_to_rescan(
+        stream in plane_stream(),
+        window in 1usize..8,
+    ) {
+        let (n_cells, planes) = stream;
+        let mut ring = EpochRing::new(n_cells, window);
+        let mut rescan = vec![0.0; n_cells];
+        for (e, plane) in planes.iter().enumerate() {
+            ring.push(plane);
+            ring.recompute_into(&mut rescan);
+            let inc: Vec<u64> = ring.window_counts().iter().map(|v| v.to_bits()).collect();
+            let re: Vec<u64> = rescan.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(inc, re, "epoch {}", e);
+        }
+    }
+
+    #[test]
+    fn ring_window_equals_tree_window(stream in plane_stream(), window in 1usize..6) {
+        let (n_cells, planes) = stream;
+        // Two independent routes to the same sliding window — the ring's
+        // incremental sum and the tree's dyadic decomposition — must
+        // agree exactly on whole-number planes.
+        let mut ring = EpochRing::new(n_cells, window);
+        let mut tree = CountTree::exact(n_cells);
+        for plane in &planes {
+            ring.push(plane);
+            tree.append(plane);
+        }
+        let t1 = planes.len();
+        let t0 = t1.saturating_sub(window);
+        prop_assert_eq!(ring.window_counts(), &tree.window(t0, t1)[..]);
+    }
+}

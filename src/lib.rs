@@ -35,6 +35,8 @@ pub use dam_geo as geo;
 pub use dam_privacy as privacy;
 /// Private range queries (DAM-backed + hierarchical oracle).
 pub use dam_range as range;
+/// Continual-observation streaming (sliding windows, warm-started EM).
+pub use dam_stream as stream;
 /// Trajectory mechanisms (LDPTrace, PivotTrace).
 pub use dam_trajectory as trajectory;
 /// Optimal transport and Wasserstein metrics.

@@ -3,8 +3,8 @@
 //! Supports the surface this workspace's property tests use: the
 //! [`proptest!`] macro (with optional `#![proptest_config(…)]`),
 //! `prop_assert!` / `prop_assert_eq!` / `prop_assume!`, range and tuple
-//! strategies, `prop::collection::vec`, `prop_map`, `prop_filter_map`, and
-//! [`Just`]. Cases are generated deterministically from a seed derived
+//! strategies, `prop::collection::vec`, `prop_map`, `prop_filter_map`,
+//! `prop_flat_map`, and [`Just`]. Cases are generated deterministically from a seed derived
 //! from the test name (override with `PROPTEST_SEED`); there is **no**
 //! shrinking — a failing case reports its case number and seed instead.
 
@@ -93,6 +93,17 @@ pub trait Strategy {
     {
         Filter { inner: self, pred, _reason: reason.into() }
     }
+
+    /// Builds a dependent strategy from each generated value (e.g. a
+    /// length drawn first, then a vector of that length).
+    fn prop_flat_map<O, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        O: Strategy,
+        F: Fn(Self::Value) -> O,
+    {
+        FlatMap { inner: self, f }
+    }
 }
 
 impl<S: Strategy + ?Sized> Strategy for &S {
@@ -137,6 +148,19 @@ impl<S: Strategy, O, F: Fn(S::Value) -> Option<O>> Strategy for FilterMap<S, F> 
     type Value = O;
     fn gen_value(&self, rng: &mut StdRng) -> Option<O> {
         self.inner.gen_value(rng).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Strategy, F: Fn(S::Value) -> O> Strategy for FlatMap<S, F> {
+    type Value = O::Value;
+    fn gen_value(&self, rng: &mut StdRng) -> Option<O::Value> {
+        self.inner.gen_value(rng).and_then(|v| (self.f)(v).gen_value(rng))
     }
 }
 

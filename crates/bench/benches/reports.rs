@@ -9,10 +9,15 @@
 //! against a recorded throughput trajectory. The speedup scales with the
 //! worker count (recorded in the JSON); on a single-core runner the two
 //! paths are equivalent by construction.
+//!
+//! The `validated` row measures the same sharded batch through the
+//! ingest-validation path (`report_batch_validated_in`, clamp policy) on
+//! all-clean points — the per-report cost of the fault-tolerance checks,
+//! which the guard holds within ~10% of the raw sharded path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dam_bench::{bench_grid, bench_points};
-use dam_core::{DamClient, DamConfig};
+use dam_core::{DamClient, DamConfig, IngestPolicy};
 use dam_geo::rng::seeded;
 use std::hint::black_box;
 
@@ -44,6 +49,19 @@ fn bench_report_phase(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("sharded", N_POINTS), &N_POINTS, |bench, _| {
             bench.iter(|| black_box(client.report_batch(&points, MASTER_SEED, None)));
         });
+        group.bench_with_input(BenchmarkId::new("validated", N_POINTS), &N_POINTS, |bench, _| {
+            let mut scratch = Vec::new();
+            bench.iter(|| {
+                let summary = client.report_batch_validated_in(
+                    &points,
+                    MASTER_SEED,
+                    None,
+                    IngestPolicy::Clamp,
+                    &mut scratch,
+                );
+                black_box((summary.accepted(), scratch.len()))
+            });
+        });
         group.finish();
     }
     emit_bench_json(c);
@@ -59,22 +77,29 @@ fn emit_bench_json(c: &Criterion) {
             .find(|(name, _)| name == &format!("reports_throughput/{path}/{N_POINTS}"))
             .map(|&(_, ns)| ns)
     };
-    let (Some(seq), Some(sharded)) = (median("sequential"), median("sharded")) else {
+    let (Some(seq), Some(sharded), Some(validated)) =
+        (median("sequential"), median("sharded"), median("validated"))
+    else {
         eprintln!("reports_throughput results missing; not writing BENCH_reports.json");
         return;
     };
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let speedup = seq / sharded;
+    let overhead = validated / sharded;
     let json = format!(
         "{{\n  \"bench\": \"reports_throughput\",\n  \"n_points\": {N_POINTS},\n  \
          \"d\": {D},\n  \"eps\": {EPS},\n  \"threads\": {threads},\n  \"configs\": [\n    \
          {{\"path\": \"sequential\", \"median_ns_per_batch\": {seq:.1}, \
          \"median_ns_per_report\": {:.2}}},\n    \
          {{\"path\": \"sharded\", \"median_ns_per_batch\": {sharded:.1}, \
+         \"median_ns_per_report\": {:.2}}},\n    \
+         {{\"path\": \"validated\", \"median_ns_per_batch\": {validated:.1}, \
          \"median_ns_per_report\": {:.2}}}\n  ],\n  \
-         \"speedup_sharded_over_sequential\": {speedup:.2}\n}}\n",
+         \"speedup_sharded_over_sequential\": {speedup:.2},\n  \
+         \"validation_overhead_vs_sharded\": {overhead:.3}\n}}\n",
         seq / N_POINTS as f64,
         sharded / N_POINTS as f64,
+        validated / N_POINTS as f64,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reports.json");
     match std::fs::write(path, &json) {

@@ -7,7 +7,9 @@
 //! iterations — the 2-D analogue of SW-EMS's `[1,2,1]/4`.
 
 use crate::kernel::DiscreteKernel;
-use dam_fo::em::{expectation_maximization_warm, ChannelOp, EmParams, EmRun, EmWorkspace};
+use dam_fo::em::{
+    expectation_maximization_warm, ChannelOp, EmHealth, EmParams, EmRun, EmWorkspace,
+};
 use dam_geo::{Grid2D, Histogram2D};
 
 /// Post-processing flavour.
@@ -139,8 +141,25 @@ pub fn post_process_with(
     params: EmParams,
     backend: EmBackend,
 ) -> Histogram2D {
-    let op = EmOperator::new(kernel, backend);
-    op.post_process_warm(noisy_counts, input_grid, post, params, None, &mut EmWorkspace::new()).0
+    let mut op = EmOperator::new(kernel, backend);
+    op.post_process_warm(noisy_counts, input_grid, post, params, None, &mut EmWorkspace::new())
+        .histogram
+}
+
+/// Everything one PostProcess run produced: the estimate, the iteration
+/// accounting and the numerical-health record — including whether the
+/// spectral backend had to be abandoned for the exact stencil.
+#[derive(Debug, Clone)]
+pub struct PostProcessOutcome {
+    /// The estimated input distribution (sums to 1, always finite).
+    pub histogram: Histogram2D,
+    /// EM iterations executed (summed across a backend-fallback rerun).
+    pub em_iters: usize,
+    /// What the solver repaired ([`EmHealth::is_clean`] on healthy runs).
+    pub em_health: EmHealth,
+    /// The FFT backend diverged and the run was redone on the exact
+    /// stencil operator (see [`EmOperator::post_process_warm`]).
+    pub backend_fallback: bool,
 }
 
 /// A resolved EM operator, reusable across PostProcess runs.
@@ -158,6 +177,12 @@ pub struct EmOperator {
     channel: Box<dyn ChannelOp + Send + Sync>,
     /// Resolved backend actually in use (never [`EmBackend::Auto`]).
     resolved: EmBackend,
+    /// The kernel, kept so a diverging FFT run can rebuild the exact
+    /// stencil operator on demand (see [`EmOperator::post_process_warm`]).
+    kernel: DiscreteKernel,
+    /// Lazily-built stencil fallback (only materialised after the first
+    /// FFT divergence; reused for every later fallback).
+    stencil_fallback: Option<Box<dyn ChannelOp + Send + Sync>>,
     d: u32,
     n_out: usize,
 }
@@ -172,7 +197,14 @@ impl EmOperator {
             EmBackend::Fft => Box::new(kernel.fft_channel()),
             EmBackend::Auto => unreachable!("resolve never returns Auto"),
         };
-        Self { channel, resolved, d: kernel.d(), n_out: kernel.n_out() }
+        Self {
+            channel,
+            resolved,
+            kernel: kernel.clone(),
+            stencil_fallback: None,
+            d: kernel.d(),
+            n_out: kernel.n_out(),
+        }
     }
 
     /// The backend the cost model resolved to.
@@ -182,43 +214,72 @@ impl EmOperator {
     }
 
     /// Runs PostProcess with an optional warm start, returning the
-    /// estimate and the EM iteration count (the warm-vs-cold accounting
-    /// the streaming layer reports). `init`, when given, must be a
-    /// distribution over the input grid (`d²` values); `ws` carries the
-    /// operator scratch across windows so steady-state EM allocates
-    /// nothing.
+    /// estimate, the EM iteration count (the warm-vs-cold accounting the
+    /// streaming layer reports) and the numerical-health record. `init`,
+    /// when given, must be a distribution over the input grid (`d²`
+    /// values); `ws` carries the operator scratch across windows so
+    /// steady-state EM allocates nothing.
+    ///
+    /// **Graceful degradation.** The spectral operator is the one backend
+    /// with a numerical failure mode of its own: its circular convolutions
+    /// round through a full FFT/iFFT pass, so a pathological plane can
+    /// drive the iteration non-finite where the exact stencil would not.
+    /// When an FFT-backed run reports divergence re-seeds, the run is
+    /// redone on a lazily-built [`crate::conv::ConvChannel`] (kept for
+    /// subsequent windows) and the outcome records `backend_fallback` so
+    /// the pipeline's health surface can expose the degraded-but-serving
+    /// state. Iteration counts sum across the rerun.
     pub fn post_process_warm(
-        &self,
+        &mut self,
         noisy_counts: &[f64],
         input_grid: &Grid2D,
         post: PostProcess,
         params: EmParams,
         init: Option<&[f64]>,
         ws: &mut EmWorkspace,
-    ) -> (Histogram2D, usize) {
+    ) -> PostProcessOutcome {
         assert_eq!(noisy_counts.len(), self.n_out, "counts do not match output grid");
         assert_eq!(input_grid.d(), self.d, "kernel built for a different grid resolution");
         let d = self.d as usize;
         let smoother = move |f: &mut [f64]| smooth_2d(d, f);
-        let EmRun { estimate, iters } = match post {
-            PostProcess::Em => expectation_maximization_warm(
-                self.channel.as_ref(),
-                noisy_counts,
-                init,
-                None,
-                params,
-                ws,
-            ),
-            PostProcess::Ems => expectation_maximization_warm(
-                self.channel.as_ref(),
-                noisy_counts,
-                init,
-                Some(&smoother),
-                params,
-                ws,
-            ),
+        let smoother: Option<&dyn Fn(&mut [f64])> = match post {
+            PostProcess::Em => None,
+            PostProcess::Ems => Some(&smoother),
         };
-        (Histogram2D::from_values(input_grid.clone(), estimate), iters)
+        let run = expectation_maximization_warm(
+            self.channel.as_ref(),
+            noisy_counts,
+            init,
+            smoother,
+            params,
+            ws,
+        );
+        if run.health.reseeds == 0 || self.resolved != EmBackend::Fft {
+            return PostProcessOutcome {
+                histogram: Histogram2D::from_values(input_grid.clone(), run.estimate),
+                em_iters: run.iters,
+                em_health: run.health,
+                backend_fallback: false,
+            };
+        }
+        let stencil =
+            self.stencil_fallback.get_or_insert_with(|| Box::new(self.kernel.conv_channel()));
+        let EmRun { estimate, iters, health } = expectation_maximization_warm(
+            stencil.as_ref(),
+            noisy_counts,
+            init,
+            smoother,
+            params,
+            ws,
+        );
+        let mut em_health = run.health;
+        em_health.merge(&health);
+        PostProcessOutcome {
+            histogram: Histogram2D::from_values(input_grid.clone(), estimate),
+            em_iters: run.iters + iters,
+            em_health,
+            backend_fallback: true,
+        }
     }
 }
 

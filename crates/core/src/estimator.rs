@@ -14,6 +14,10 @@ use crate::kernel::DiscreteKernel;
 use crate::radius::optimal_b_cells;
 use crate::response::GridAreaResponse;
 use crate::shard::sharded_accumulate_in;
+use crate::validate::{
+    check_counts, check_point_in, covered_square, IngestError, IngestPolicy, IngestSummary,
+    PointCheck,
+};
 use dam_fo::em::EmParams;
 use dam_geo::{CellIndex, Grid2D, Histogram2D, Point};
 use rand::RngCore;
@@ -207,6 +211,79 @@ impl DamClient {
             },
         );
     }
+
+    /// [`DamClient::report_batch_in`] with an ingest-validation stage in
+    /// front of the randomizer: every point is checked against the grid's
+    /// covered square, malformed reports (non-finite coordinates, plus
+    /// out-of-domain ones under [`IngestPolicy::Reject`]) are quarantined,
+    /// and the returned [`IngestSummary`] accounts for every report.
+    ///
+    /// Determinism guarantees, both bit-exact for any `threads` value:
+    ///
+    /// * quarantined points consume **no** randomness, so the valid
+    ///   remainder of a batch reports exactly as if the garbage had never
+    ///   arrived;
+    /// * an all-valid batch produces output bit-identical to the
+    ///   unvalidated [`DamClient::report_batch_in`] path.
+    ///
+    /// The per-shard seen/quarantined/clamped tallies ride the same
+    /// shard-order merge as the counts (three tail slots per shard
+    /// buffer), so the summary itself is thread-count independent too.
+    pub fn report_batch_validated_in(
+        &self,
+        points: &[Point],
+        master_seed: u64,
+        threads: Option<usize>,
+        policy: IngestPolicy,
+        scratch: &mut Vec<f64>,
+    ) -> IngestSummary {
+        let od = self.kernel().out_d() as usize;
+        let n = od * od;
+        // Hoisted out of the per-point loop: recomputing the covered
+        // square per report is what would push validation past its ~10%
+        // throughput budget (the guard in `BENCH_reports.json`).
+        let domain = covered_square(&self.grid);
+        // Three meta slots per shard buffer (seen / quarantined / clamped):
+        // the deterministic shard-order merge sums them exactly like count
+        // cells, and the whole-number tallies stay exact in f64 far beyond
+        // any realistic batch size. Tallies live in integer registers for
+        // the duration of a shard and spill once.
+        sharded_accumulate_in(
+            points.len(),
+            n + 3,
+            master_seed,
+            threads,
+            scratch,
+            |range, rng, buf| {
+                let (mut quarantined, mut clamped) = (0u64, 0u64);
+                buf[n] += range.len() as f64;
+                for (i, &p) in points[range.clone()].iter().enumerate() {
+                    let accepted = match check_point_in(&domain, policy, range.start + i, p) {
+                        PointCheck::Accept(q) => q,
+                        PointCheck::Clamped(q) => {
+                            clamped += 1;
+                            q
+                        }
+                        PointCheck::Quarantine(_) => {
+                            quarantined += 1;
+                            continue;
+                        }
+                    };
+                    let noisy = self.response.respond(self.grid.cell_of(accepted), rng);
+                    buf[noisy.iy as usize * od + noisy.ix as usize] += 1.0;
+                }
+                buf[n + 1] += quarantined as f64;
+                buf[n + 2] += clamped as f64;
+            },
+        );
+        let summary = IngestSummary {
+            seen: scratch[n] as u64,
+            quarantined: scratch[n + 1] as u64,
+            clamped: scratch[n + 2] as u64,
+        };
+        scratch.truncate(n);
+        summary
+    }
 }
 
 /// Analyst-side state: accumulates noisy cells and runs PostProcess
@@ -247,6 +324,26 @@ impl DamAggregator {
             total += c;
         }
         self.n_reports += total as u64;
+    }
+
+    /// Validating counterpart of [`DamAggregator::ingest_counts`]: the
+    /// buffer must match the output grid and hold only finite,
+    /// non-negative entries, or the whole buffer is rejected with a
+    /// structured [`IngestError`] and the running histogram is untouched.
+    ///
+    /// Use this on count planes that crossed a trust boundary (network
+    /// transport, persisted spools, fault-injection harnesses); the
+    /// panicking `ingest_counts` remains for buffers produced in-process
+    /// by [`DamClient::report_batch`].
+    pub fn try_ingest_counts(&mut self, counts: &[f64]) -> Result<(), IngestError> {
+        check_counts(self.counts.len(), counts)?;
+        let mut total = 0.0f64;
+        for (acc, &c) in self.counts.iter_mut().zip(counts) {
+            *acc += c;
+            total += c;
+        }
+        self.n_reports += total as u64;
+        Ok(())
     }
 
     /// Number of reports ingested so far.
@@ -396,5 +493,100 @@ mod tests {
     fn default_b_matches_radius_module() {
         let cfg = DamConfig::dam(3.5);
         assert_eq!(cfg.resolve_b(15), crate::radius::optimal_b_cells(3.5, 15));
+    }
+
+    #[test]
+    fn validated_clean_batch_matches_unvalidated_path_bit_for_bit() {
+        let grid = Grid2D::new(BoundingBox::unit(), 6);
+        let client = DamClient::new(grid, &DamConfig::dam(2.0));
+        let points = cluster_points(Point::new(0.4, 0.6), 4_000, 0.2, 11);
+        for threads in [Some(1), Some(4)] {
+            let plain = client.report_batch(&points, 0xC1EA, threads);
+            let mut validated = Vec::new();
+            let summary = client.report_batch_validated_in(
+                &points,
+                0xC1EA,
+                threads,
+                IngestPolicy::Reject,
+                &mut validated,
+            );
+            assert_eq!(plain, validated);
+            assert_eq!(summary.seen, points.len() as u64);
+            assert_eq!(summary.quarantined, 0);
+            assert_eq!(summary.clamped, 0);
+        }
+    }
+
+    #[test]
+    fn validated_batch_quarantines_garbage_and_stays_deterministic() {
+        let grid = Grid2D::new(BoundingBox::unit(), 6);
+        let client = DamClient::new(grid, &DamConfig::dam(2.0));
+        let mut points = cluster_points(Point::new(0.4, 0.6), 2_000, 0.2, 12);
+        // Interleave malformed reports through the batch: non-finite
+        // coordinates (always quarantined) and finite out-of-domain points
+        // (policy-dependent).
+        for k in 0..10 {
+            points.insert(k * 150, Point::new(f64::NAN, 0.5));
+            points.insert(k * 151 + 7, Point::new(5.0, -2.0));
+        }
+        let mut rejected = Vec::new();
+        let s_rej = client.report_batch_validated_in(
+            &points,
+            9,
+            Some(2),
+            IngestPolicy::Reject,
+            &mut rejected,
+        );
+        assert_eq!(s_rej.seen, points.len() as u64);
+        assert_eq!(s_rej.quarantined, 20);
+        assert_eq!(s_rej.clamped, 0);
+        assert_eq!(rejected.iter().sum::<f64>(), s_rej.accepted() as f64);
+
+        let mut clamped = Vec::new();
+        let s_cl = client.report_batch_validated_in(
+            &points,
+            9,
+            Some(2),
+            IngestPolicy::Clamp,
+            &mut clamped,
+        );
+        assert_eq!(s_cl.quarantined, 10, "only the non-finite reports");
+        assert_eq!(s_cl.clamped, 10);
+
+        // Bit-identical across thread counts, like every pipeline path.
+        for (threads, policy, expect) in [
+            (Some(1), IngestPolicy::Reject, &rejected),
+            (Some(4), IngestPolicy::Reject, &rejected),
+            (Some(1), IngestPolicy::Clamp, &clamped),
+            (Some(4), IngestPolicy::Clamp, &clamped),
+        ] {
+            let mut again = Vec::new();
+            let s = client.report_batch_validated_in(&points, 9, threads, policy, &mut again);
+            assert_eq!(&again, expect);
+            assert_eq!(s.seen, points.len() as u64);
+        }
+    }
+
+    #[test]
+    fn try_ingest_counts_rejects_bad_planes_without_mutation() {
+        let grid = Grid2D::new(BoundingBox::unit(), 3);
+        let client = DamClient::new(grid, &DamConfig::dam(1.0));
+        let mut agg = DamAggregator::new(&client);
+        let n = client.kernel().n_out();
+
+        assert!(matches!(
+            agg.try_ingest_counts(&vec![0.0; n - 1]),
+            Err(IngestError::ShapeMismatch { .. })
+        ));
+        let mut bad = vec![1.0; n];
+        bad[2] = f64::NAN;
+        assert_eq!(agg.try_ingest_counts(&bad), Err(IngestError::NonFiniteCount { cell: 2 }));
+        bad[2] = -1.0;
+        assert_eq!(agg.try_ingest_counts(&bad), Err(IngestError::NegativeCount { cell: 2 }));
+        assert_eq!(agg.n_reports(), 0, "rejected planes must not count");
+
+        let good = vec![2.0; n];
+        assert_eq!(agg.try_ingest_counts(&good), Ok(()));
+        assert_eq!(agg.n_reports(), 2 * n as u64);
     }
 }

@@ -52,9 +52,10 @@ pub mod response;
 pub mod sam;
 pub mod shard;
 pub mod tuning;
+pub mod validate;
 
 pub use conv::{ConvChannel, FftChannel};
-pub use em2d::{EmBackend, EmOperator, PostProcess};
+pub use em2d::{EmBackend, EmOperator, PostProcess, PostProcessOutcome};
 pub use estimator::{
     DamAggregator, DamClient, DamConfig, DamEstimator, SamVariant, SpatialEstimator,
 };
@@ -63,3 +64,4 @@ pub use grid::{CellClass, DiskGeometry, KernelKind};
 pub use kernel::DiscreteKernel;
 pub use radius::{mutual_information_bound, optimal_b};
 pub use response::GridAreaResponse;
+pub use validate::{IngestError, IngestPolicy, IngestSummary};

@@ -17,12 +17,23 @@
 //!
 //! `--epochs`/`--window` override the stream shape; ingestion and
 //! estimates are bit-identical for any `--threads` value.
+//!
+//! `--inject "seed=7,corrupt=0.01,drop=0.1,delay=0.05,flip=0.02,\
+//! nonfinite=0.001"` turns the run into a chaos experiment: the
+//! [`dam_fault::FaultPlan`] corrupts reports before ingest, drops or
+//! delays whole epochs, and poisons retained count planes — all from
+//! pure decision streams, so a chaos run is also bit-identical for any
+//! `--threads` value. The truth histogram stays the *clean* window, so
+//! the TV/W₂ columns read directly as degradation under faults, and a
+//! per-mechanism [`dam_stream::PipelineHealth`] footer reports what the
+//! pipeline quarantined, sanitized, and recovered from.
 
 use dam_core::{DamConfig, SamVariant};
 use dam_data::synthetic::standard_normal;
 use dam_eval::report::fmt4;
 use dam_eval::runner::label_stream;
 use dam_eval::{CliArgs, EvalContext, Report};
+use dam_fault::{EpochFate, FaultPlan};
 use dam_fo::em::EmParams;
 use dam_geo::rng::derived;
 use dam_geo::{BoundingBox, Grid2D, Histogram2D, Point};
@@ -59,9 +70,39 @@ fn epoch_points(n: usize, u: f64, rng: &mut impl Rng) -> Vec<Point> {
         .collect()
 }
 
+/// Feeds one epoch into one stream under a fault plan: merges any batch
+/// delayed from the previous epoch, applies the epoch fate and report
+/// corruption, and poisons the retained count plane through the tamper
+/// hook. `carry` holds a delayed batch between calls.
+fn ingest_faulty(
+    stream: &mut StreamingEstimator,
+    plan: &FaultPlan,
+    epoch: usize,
+    points: &[Point],
+    carry: &mut Vec<Point>,
+) {
+    let mut batch = std::mem::take(carry);
+    match plan.epoch_fate(epoch) {
+        EpochFate::Deliver => batch.extend_from_slice(points),
+        EpochFate::Delay => *carry = points.to_vec(),
+        EpochFate::Drop => {}
+    }
+    plan.corrupt_points(epoch, &mut batch);
+    if batch.is_empty() {
+        stream.ingest_missed_epoch();
+    } else {
+        stream.ingest_epoch_with(&batch, |e, plane| {
+            plan.poison_counts(e, plane);
+            plan.inject_nonfinite(e, plane);
+        });
+    }
+}
+
 fn main() {
     let args = CliArgs::parse();
     let ctx = EvalContext::from_args(&args);
+    let plan =
+        args.inject.as_deref().map(|spec| FaultPlan::parse(spec).unwrap_or_else(|e| panic!("{e}")));
     let epochs = args.epochs.unwrap_or(if args.fast { 8 } else { 24 });
     let window = args.window.unwrap_or(if args.fast { 4 } else { 6 }).min(epochs);
     let total_users = args.users.unwrap_or(20_000 * epochs);
@@ -132,6 +173,8 @@ fn main() {
     );
 
     let mut ratio_acc = vec![(0.0f64, 0usize); variants.len()];
+    // Per-stream buffer for a batch the fault plan delayed one epoch.
+    let mut carries: Vec<Vec<Point>> = vec![Vec::new(); variants.len()];
     // Steady-state accumulators (epochs with a full window): mean TV and
     // W₂ per mechanism, warm vs cold — the "no worse than recomputing"
     // check at a glance.
@@ -143,7 +186,12 @@ fn main() {
             epoch_data[lo..=e].iter().flat_map(|p| p.iter().copied()).collect();
         let truth = Histogram2D::from_points(grid.clone(), &window_points).normalized();
         for (m, stream) in streams.iter_mut().enumerate() {
-            stream.ingest_epoch(&epoch_data[e]);
+            match &plan {
+                Some(plan) => ingest_faulty(stream, plan, e, &epoch_data[e], &mut carries[m]),
+                None => {
+                    stream.ingest_epoch(&epoch_data[e]);
+                }
+            }
             // Cold first: it must not touch the warm state it is the
             // baseline for.
             let t0 = std::time::Instant::now();
@@ -209,6 +257,12 @@ fn main() {
                 s[2] / n,
                 s[3] / n
             );
+        }
+    }
+    if let Some(plan) = &plan {
+        println!("fault plan: {}", plan.spec());
+        for (m, stream) in streams.iter().enumerate() {
+            println!("{} health: {}", variants[m].1, stream.health().summary());
         }
     }
     let path = report.write_csv(&args.out, "fig_stream").expect("write csv");

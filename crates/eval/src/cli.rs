@@ -45,6 +45,11 @@ pub struct CliArgs {
     /// Sliding-window length in epochs for the continual-observation
     /// binaries (`--window W`).
     pub window: Option<usize>,
+    /// Fault-injection plan spec for chaos runs (`--inject
+    /// "seed=7,corrupt=0.01,drop=0.1,..."`). Kept as the raw spec string
+    /// here; the stream binaries parse it with `FaultPlan::parse` so this
+    /// crate's shared CLI stays decoupled from `dam-fault`'s types.
+    pub inject: Option<String>,
 }
 
 impl Default for CliArgs {
@@ -62,6 +67,7 @@ impl Default for CliArgs {
             threads: None,
             epochs: None,
             window: None,
+            inject: None,
         }
     }
 }
@@ -117,9 +123,11 @@ impl CliArgs {
                     assert!(n >= 1, "--window must be at least 1");
                     out.window = Some(n);
                 }
+                "--inject" => out.inject = Some(value("--inject")),
                 other => panic!(
                     "unknown flag {other}; known: --repeats --users --seed --out --fast \
-                     --no-calib --em-backend --dense-em --w2-solver --threads --epochs --window"
+                     --no-calib --em-backend --dense-em --w2-solver --threads --epochs --window \
+                     --inject"
                 ),
             }
         }
@@ -244,6 +252,13 @@ mod tests {
     #[should_panic(expected = "--window must be at least 1")]
     fn rejects_zero_window() {
         parse("--window 0");
+    }
+
+    #[test]
+    fn inject_keeps_the_raw_spec_string() {
+        assert!(parse("").inject.is_none());
+        let a = parse("--inject seed=7,corrupt=0.01,drop=0.1");
+        assert_eq!(a.inject.as_deref(), Some("seed=7,corrupt=0.01,drop=0.1"));
     }
 
     #[test]

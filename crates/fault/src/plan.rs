@@ -1,0 +1,446 @@
+//! The deterministic fault plan: what to break, at what rate, on which
+//! SplitMix64 streams.
+
+use dam_geo::rng::splitmix64;
+use dam_geo::Point;
+
+/// Salts separating the fault families' decision streams from each other
+/// (and, by construction, from every report/shard/noise stream in the
+/// workspace — those use their own salts).
+const SALT_CORRUPT: u64 = 0xFA17_0001_C0AA_0001;
+const SALT_KIND: u64 = 0xFA17_0002_C0AA_0002;
+const SALT_EPOCH: u64 = 0xFA17_0003_C0AA_0003;
+const SALT_FLIP: u64 = 0xFA17_0004_C0AA_0004;
+const SALT_DEST: u64 = 0xFA17_0005_C0AA_0005;
+const SALT_PLANE: u64 = 0xFA17_0006_C0AA_0006;
+
+/// What happens to one epoch's report batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochFate {
+    /// The batch arrives on time.
+    Deliver,
+    /// The batch is lost (collector outage): the epoch ingests empty.
+    Drop,
+    /// The batch arrives one epoch late, merged with the next delivery.
+    Delay,
+}
+
+/// Error from [`FaultPlan::parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanParseError(pub String);
+
+impl std::fmt::Display for PlanParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad fault plan: {}", self.0)
+    }
+}
+
+impl std::error::Error for PlanParseError {}
+
+/// A chaos scenario: per-family fault rates plus the master seed keying
+/// every decision stream.
+///
+/// All decisions are pure functions of `(seed, family, epoch, index)`, so
+/// a plan injects the *same* faults however many threads execute the
+/// pipeline and however often a run is replayed — the property the chaos
+/// determinism tests pin.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Master seed of the fault decision streams.
+    pub seed: u64,
+    /// Per-report corruption probability (out-of-domain / `NaN` / `∞`
+    /// coordinates, duplicated reports — equal shares).
+    pub corrupt: f64,
+    /// Per-epoch probability the whole batch is dropped.
+    pub drop: f64,
+    /// Per-epoch probability the batch is delayed one epoch.
+    pub delay: f64,
+    /// Per-response flip probability for randomized-response poisoning
+    /// (GRR symbol resampling, OUE bit flips, aggregated-count
+    /// migration).
+    pub flip: f64,
+    /// Per-cell probability of writing a non-finite value into a count
+    /// plane.
+    pub nonfinite: f64,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (all rates zero).
+    pub fn clean(seed: u64) -> Self {
+        Self { seed, corrupt: 0.0, drop: 0.0, delay: 0.0, flip: 0.0, nonfinite: 0.0 }
+    }
+
+    /// True when every fault rate is zero.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt == 0.0
+            && self.drop == 0.0
+            && self.delay == 0.0
+            && self.flip == 0.0
+            && self.nonfinite == 0.0
+    }
+
+    /// Parses a comma-separated `key=value` spec, e.g.
+    /// `seed=7,corrupt=0.01,drop=0.1,delay=0.05,flip=0.02,nonfinite=0.001`.
+    /// Unknown keys, unparsable values, and rates outside `[0, 1]` (or
+    /// `drop + delay > 1`) are errors; omitted keys default to `seed=0`
+    /// and rate `0`.
+    pub fn parse(spec: &str) -> Result<Self, PlanParseError> {
+        let mut plan = Self::clean(0);
+        for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| PlanParseError(format!("`{part}` is not key=value")))?;
+            let rate = |slot: &mut f64| -> Result<(), PlanParseError> {
+                let v: f64 = value
+                    .parse()
+                    .map_err(|_| PlanParseError(format!("`{value}` is not a number ({key})")))?;
+                if !(0.0..=1.0).contains(&v) {
+                    return Err(PlanParseError(format!("{key}={v} outside [0, 1]")));
+                }
+                *slot = v;
+                Ok(())
+            };
+            match key.trim() {
+                "seed" => {
+                    plan.seed = value
+                        .parse()
+                        .map_err(|_| PlanParseError(format!("`{value}` is not a seed")))?;
+                }
+                "corrupt" => rate(&mut plan.corrupt)?,
+                "drop" => rate(&mut plan.drop)?,
+                "delay" => rate(&mut plan.delay)?,
+                "flip" => rate(&mut plan.flip)?,
+                "nonfinite" => rate(&mut plan.nonfinite)?,
+                other => {
+                    return Err(PlanParseError(format!(
+                        "unknown key `{other}`; known: seed corrupt drop delay flip nonfinite"
+                    )))
+                }
+            }
+        }
+        if plan.drop + plan.delay > 1.0 {
+            return Err(PlanParseError(format!(
+                "drop={} + delay={} exceeds 1",
+                plan.drop, plan.delay
+            )));
+        }
+        Ok(plan)
+    }
+
+    /// The canonical spec string reproducing this plan through
+    /// [`FaultPlan::parse`] (zero rates omitted).
+    pub fn spec(&self) -> String {
+        let mut parts = vec![format!("seed={}", self.seed)];
+        for (key, rate) in [
+            ("corrupt", self.corrupt),
+            ("drop", self.drop),
+            ("delay", self.delay),
+            ("flip", self.flip),
+            ("nonfinite", self.nonfinite),
+        ] {
+            if rate > 0.0 {
+                parts.push(format!("{key}={rate}"));
+            }
+        }
+        parts.join(",")
+    }
+
+    /// One uniform draw in `[0, 1)` from the stream keyed by
+    /// `(seed, family, a, b)`. Pure — the same key always yields the same
+    /// draw, independent of call order and thread count.
+    fn unit(&self, family: u64, a: u64, b: u64) -> f64 {
+        let z = splitmix64(self.seed ^ splitmix64(family ^ splitmix64(a ^ splitmix64(b))));
+        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The fate of epoch `epoch`'s report batch.
+    pub fn epoch_fate(&self, epoch: usize) -> EpochFate {
+        if self.drop <= 0.0 && self.delay <= 0.0 {
+            return EpochFate::Deliver;
+        }
+        let u = self.unit(SALT_EPOCH, epoch as u64, 0);
+        if u < self.drop {
+            EpochFate::Drop
+        } else if u < self.drop + self.delay {
+            EpochFate::Delay
+        } else {
+            EpochFate::Deliver
+        }
+    }
+
+    /// Corrupts a configured fraction of one epoch's points in place:
+    /// equal shares of out-of-domain coordinates, `NaN` coordinates, `∞`
+    /// coordinates, and duplicated reports (appended at the end in index
+    /// order). Returns how many corruptions were applied. Decisions are
+    /// keyed by `(epoch, point index)`, so the same epoch always breaks
+    /// the same way.
+    pub fn corrupt_points(&self, epoch: usize, points: &mut Vec<Point>) -> usize {
+        if self.corrupt <= 0.0 {
+            return 0;
+        }
+        let e = epoch as u64;
+        let n = points.len();
+        let mut duplicates = Vec::new();
+        let mut hits = 0usize;
+        for i in 0..n {
+            if self.unit(SALT_CORRUPT, e, i as u64) >= self.corrupt {
+                continue;
+            }
+            hits += 1;
+            let p = points[i];
+            match (self.unit(SALT_KIND, e, i as u64) * 4.0) as usize {
+                0 => {
+                    // Far out of the unit square, in a key-dependent
+                    // quadrant (still finite: the clamp-vs-reject policy
+                    // decision is about exactly these points).
+                    let sx = if self.unit(SALT_DEST, e, i as u64) < 0.5 { -3.0 } else { 4.0 };
+                    points[i] = Point::new(p.x + sx, p.y + 2.5);
+                }
+                1 => points[i] = Point::new(f64::NAN, p.y),
+                2 => points[i] = Point::new(p.x, f64::INFINITY),
+                _ => duplicates.push(p),
+            }
+        }
+        points.extend(duplicates);
+        hits
+    }
+
+    /// GRR-style poisoning of one categorical response out of `k`
+    /// symbols: with probability `flip` the reported symbol is replaced
+    /// by a uniformly drawn *different* symbol. Keyed by
+    /// `(epoch, response index)`.
+    pub fn poison_symbol(&self, epoch: usize, index: usize, k: usize, symbol: usize) -> usize {
+        debug_assert!(symbol < k);
+        if k < 2
+            || self.flip <= 0.0
+            || self.unit(SALT_FLIP, epoch as u64, index as u64) >= self.flip
+        {
+            return symbol;
+        }
+        let r = (self.unit(SALT_DEST, epoch as u64, index as u64) * (k - 1) as f64) as usize;
+        let r = r.min(k - 2);
+        if r >= symbol {
+            r + 1
+        } else {
+            r
+        }
+    }
+
+    /// OUE-style poisoning of one unary (bit-vector) response: each bit
+    /// flips independently with probability `flip`. Returns the number of
+    /// flipped bits. Keyed by `(epoch, response index, bit)`.
+    pub fn poison_unary(&self, epoch: usize, index: usize, bits: &mut [bool]) -> usize {
+        if self.flip <= 0.0 {
+            return 0;
+        }
+        let key = splitmix64(epoch as u64 ^ splitmix64(index as u64));
+        let mut flipped = 0;
+        for (j, bit) in bits.iter_mut().enumerate() {
+            if self.unit(SALT_FLIP, key, j as u64) < self.flip {
+                *bit = !*bit;
+                flipped += 1;
+            }
+        }
+        flipped
+    }
+
+    /// The aggregated-plane form of response poisoning: each
+    /// originally-reported cell flips to a uniformly drawn other cell
+    /// with probability `flip`, applied directly to a whole-number count
+    /// plane (per-cell flip counts are the deterministic rounding of
+    /// `count · flip`; destinations come from per-move streams). Counts
+    /// stay whole and the total is conserved. Returns reports moved.
+    pub fn poison_counts(&self, epoch: usize, plane: &mut [f64]) -> usize {
+        let n = plane.len();
+        if self.flip <= 0.0 || n < 2 {
+            return 0;
+        }
+        let e = epoch as u64;
+        let snapshot: Vec<f64> = plane.to_vec();
+        let mut moved = 0usize;
+        for (c, &count) in snapshot.iter().enumerate() {
+            if !count.is_finite() || count <= 0.0 {
+                continue;
+            }
+            let expect = count * self.flip;
+            let frac_coin = self.unit(SALT_FLIP, e, c as u64) < expect.fract();
+            let k = expect.floor() as usize + usize::from(frac_coin);
+            let k = k.min(count as usize);
+            for j in 0..k {
+                let key = splitmix64(c as u64 ^ splitmix64(j as u64 ^ SALT_DEST));
+                let r = (self.unit(SALT_DEST, e, key) * (n - 1) as f64) as usize;
+                let r = r.min(n - 2);
+                let dst = if r >= c { r + 1 } else { r };
+                plane[c] -= 1.0;
+                plane[dst] += 1.0;
+                moved += 1;
+            }
+        }
+        moved
+    }
+
+    /// Writes non-finite values (`NaN` and `+∞`, alternating by stream
+    /// draw) into a count plane at the configured per-cell rate,
+    /// modelling a corrupted aggregation substrate. Returns cells hit.
+    pub fn inject_nonfinite(&self, epoch: usize, plane: &mut [f64]) -> usize {
+        if self.nonfinite <= 0.0 {
+            return 0;
+        }
+        let e = epoch as u64;
+        let mut hits = 0;
+        for (c, v) in plane.iter_mut().enumerate() {
+            let u = self.unit(SALT_PLANE, e, c as u64);
+            if u < self.nonfinite {
+                *v = if u < 0.5 * self.nonfinite { f64::NAN } else { f64::INFINITY };
+                hits += 1;
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_through_spec() {
+        let plan =
+            FaultPlan::parse("seed=7,corrupt=0.01,drop=0.1,delay=0.05,flip=0.02,nonfinite=0.001")
+                .unwrap();
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.corrupt, 0.01);
+        assert_eq!(plan.drop, 0.1);
+        assert_eq!(plan.delay, 0.05);
+        assert_eq!(plan.flip, 0.02);
+        assert_eq!(plan.nonfinite, 0.001);
+        assert_eq!(FaultPlan::parse(&plan.spec()).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_defaults_and_whitespace() {
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::clean(0));
+        let plan = FaultPlan::parse(" seed=3 , corrupt=0.5 ").unwrap();
+        assert_eq!(plan.seed, 3);
+        assert_eq!(plan.corrupt, 0.5);
+        assert!(FaultPlan::clean(9).is_clean());
+        assert!(!plan.is_clean());
+    }
+
+    #[test]
+    fn parse_rejects_bad_specs() {
+        for bad in
+            ["corrupt", "corrupt=x", "corrupt=1.5", "corrupt=-0.1", "bogus=1", "drop=0.6,delay=0.6"]
+        {
+            assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_the_key() {
+        let plan = FaultPlan::parse("seed=11,corrupt=0.2,drop=0.3,delay=0.2,flip=0.3").unwrap();
+        for epoch in 0..32 {
+            assert_eq!(plan.epoch_fate(epoch), plan.epoch_fate(epoch));
+        }
+        let mut a: Vec<Point> = (0..500).map(|i| Point::new(i as f64 / 500.0, 0.5)).collect();
+        let mut b = a.clone();
+        plan.corrupt_points(3, &mut a);
+        plan.corrupt_points(3, &mut b);
+        assert_eq!(a.len(), b.len());
+        for (pa, pb) in a.iter().zip(&b) {
+            assert!(pa.x.to_bits() == pb.x.to_bits() && pa.y.to_bits() == pb.y.to_bits());
+        }
+    }
+
+    #[test]
+    fn corruption_rate_is_respected() {
+        let plan = FaultPlan::parse("seed=1,corrupt=0.01").unwrap();
+        let mut points: Vec<Point> = (0..100_000)
+            .map(|i| Point::new((i % 100) as f64 / 100.0, (i % 97) as f64 / 97.0))
+            .collect();
+        let hits = plan.corrupt_points(0, &mut points);
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.01).abs() < 0.002, "corruption rate {rate}");
+        // Corrupt points are visible: some non-finite, some out-of-domain.
+        let nonfinite = points.iter().filter(|p| !p.x.is_finite() || !p.y.is_finite()).count();
+        let out = points
+            .iter()
+            .filter(|p| {
+                p.x.is_finite()
+                    && p.y.is_finite()
+                    && !((0.0..=1.0).contains(&p.x) && (0.0..=1.0).contains(&p.y))
+            })
+            .count();
+        assert!(nonfinite > 0 && out > 0);
+        assert!(points.len() > 100_000, "duplicates must be appended");
+    }
+
+    #[test]
+    fn epoch_fates_hit_all_outcomes() {
+        let plan = FaultPlan::parse("seed=5,drop=0.25,delay=0.25").unwrap();
+        let mut seen = [0usize; 3];
+        for e in 0..400 {
+            match plan.epoch_fate(e) {
+                EpochFate::Deliver => seen[0] += 1,
+                EpochFate::Drop => seen[1] += 1,
+                EpochFate::Delay => seen[2] += 1,
+            }
+        }
+        assert!(seen.iter().all(|&s| s > 40), "fates {seen:?}");
+        let clean = FaultPlan::clean(5);
+        assert!((0..100).all(|e| clean.epoch_fate(e) == EpochFate::Deliver));
+    }
+
+    #[test]
+    fn symbol_poisoning_flips_at_the_configured_rate() {
+        let plan = FaultPlan::parse("seed=2,flip=0.1").unwrap();
+        let k = 16;
+        let mut flips = 0;
+        for i in 0..50_000 {
+            let out = plan.poison_symbol(0, i, k, i % k);
+            if out != i % k {
+                flips += 1;
+            }
+            assert!(out < k);
+        }
+        let rate = flips as f64 / 50_000.0;
+        assert!((rate - 0.1).abs() < 0.01, "flip rate {rate}");
+        // k = 1 has no other symbol to flip to.
+        assert_eq!(plan.poison_symbol(0, 0, 1, 0), 0);
+    }
+
+    #[test]
+    fn unary_poisoning_flips_bits_at_rate() {
+        let plan = FaultPlan::parse("seed=3,flip=0.05").unwrap();
+        let mut flipped = 0;
+        for user in 0..2_000 {
+            let mut bits = vec![false; 64];
+            bits[user % 64] = true;
+            flipped += plan.poison_unary(0, user, &mut bits);
+        }
+        let rate = flipped as f64 / (2_000.0 * 64.0);
+        assert!((rate - 0.05).abs() < 0.01, "bit flip rate {rate}");
+    }
+
+    #[test]
+    fn count_poisoning_conserves_whole_number_totals() {
+        let plan = FaultPlan::parse("seed=4,flip=0.02").unwrap();
+        let mut plane: Vec<f64> = (0..100).map(|c| ((c * 13) % 70) as f64).collect();
+        let total: f64 = plane.iter().sum();
+        let moved = plan.poison_counts(1, &mut plane);
+        assert!(moved > 0);
+        assert_eq!(plane.iter().sum::<f64>(), total, "mass must be conserved");
+        assert!(plane.iter().all(|&v| v >= 0.0 && v.fract() == 0.0));
+    }
+
+    #[test]
+    fn nonfinite_injection_hits_cells() {
+        let plan = FaultPlan::parse("seed=6,nonfinite=0.01").unwrap();
+        let mut plane = vec![1.0f64; 10_000];
+        let hits = plan.inject_nonfinite(2, &mut plane);
+        let observed = plane.iter().filter(|v| !v.is_finite()).count();
+        assert_eq!(hits, observed);
+        assert!((observed as f64 / 10_000.0 - 0.01).abs() < 0.005);
+        assert!(plane.iter().any(|v| v.is_nan()) && plane.contains(&f64::INFINITY));
+    }
+}

@@ -222,15 +222,62 @@ impl EmParams {
     }
 }
 
+/// Numerical-health accounting of one EM run: what the solver had to
+/// repair to keep producing a finite distribution.
+///
+/// A long-running pipeline cannot treat a corrupted count plane or a
+/// diverged iteration as fatal — the stream keeps coming. Instead of
+/// panicking (or silently returning `NaN` everywhere, which is worse),
+/// [`expectation_maximization_warm`] detects the degenerate cases,
+/// recovers, and reports what happened here so the caller's health
+/// surface can expose it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EmHealth {
+    /// Count-plane entries that were non-finite or negative and were
+    /// zeroed before the run.
+    pub sanitized_counts: usize,
+    /// Warm-start entries that were non-finite or negative and were
+    /// zeroed before the uniform blend.
+    pub sanitized_init: usize,
+    /// Times the iteration diverged to a non-finite estimate (or
+    /// log-likelihood) and was re-seeded from the blend of the last good
+    /// estimate with uniform.
+    pub reseeds: usize,
+    /// The (sanitized) counts summed to zero: there was nothing to fit,
+    /// and the uniform distribution was returned without iterating.
+    pub degenerate_input: bool,
+}
+
+impl EmHealth {
+    /// `true` when the run needed no repair at all.
+    #[inline]
+    pub fn is_clean(&self) -> bool {
+        *self == EmHealth::default()
+    }
+
+    /// Folds another run's accounting into this one (`degenerate_input`
+    /// is sticky).
+    pub fn merge(&mut self, other: &EmHealth) {
+        self.sanitized_counts += other.sanitized_counts;
+        self.sanitized_init += other.sanitized_init;
+        self.reseeds += other.reseeds;
+        self.degenerate_input |= other.degenerate_input;
+    }
+}
+
 /// Outcome of one EM run: the estimate plus how many iterations it took —
 /// the accounting a warm-started (streaming) caller needs to measure how
-/// much a previous window's solution buys over the cold uniform start.
+/// much a previous window's solution buys over the cold uniform start —
+/// and the numerical-health record of what the solver had to repair.
 #[derive(Debug, Clone)]
 pub struct EmRun {
     /// Estimated input distribution (sums to 1).
     pub estimate: Vec<f64>,
     /// Iterations actually executed (≤ `EmParams::max_iters`).
     pub iters: usize,
+    /// What the solver repaired along the way ([`EmHealth::is_clean`] on
+    /// every healthy run).
+    pub health: EmHealth,
 }
 
 /// Zero-guard blend for warm starts: EM's multiplicative update can never
@@ -242,6 +289,13 @@ pub struct EmRun {
 /// floor is geometric, so a near-zero launch level makes EM crawl — see
 /// `dam_stream`'s tracking blend).
 const WARM_UNIFORM_MIX: f64 = 1e-6;
+
+/// How many divergence re-seeds one run will attempt before giving up and
+/// returning the sanitized best effort. Divergence here is pathological
+/// (corrupted counts, a broken channel) — if blending back towards
+/// uniform three times has not restored a finite iteration, more attempts
+/// will not either.
+const MAX_RESEEDS: usize = 3;
 
 /// Runs EM (optionally with a smoothing step — "EMS") and returns the
 /// estimated input distribution (sums to 1).
@@ -273,8 +327,8 @@ pub fn expectation_maximization_in<C: ChannelOp + ?Sized>(
     expectation_maximization_warm(channel, counts, None, smoother, params, ws).estimate
 }
 
-/// [`expectation_maximization_in`] with an optional **warm start** and
-/// iteration accounting.
+/// [`expectation_maximization_in`] with an optional **warm start**,
+/// iteration accounting and graceful numerical degradation.
 ///
 /// `init`, when provided, seeds the iteration with a previous estimate
 /// (blended with a tiny uniform floor so exact zeros stay recoverable)
@@ -283,6 +337,20 @@ pub fn expectation_maximization_in<C: ChannelOp + ?Sized>(
 /// mechanism the sliding-window streaming estimator relies on — and the
 /// returned [`EmRun::iters`] records exactly how many it took, so callers
 /// can measure the warm-vs-cold ratio.
+///
+/// The run never panics on degenerate numerics and never returns a
+/// non-finite estimate; it repairs and records in [`EmRun::health`]:
+///
+/// * non-finite / negative **count** entries are zeroed before the run
+///   (`sanitized_counts`);
+/// * non-finite / negative **warm-start** entries are zeroed before the
+///   uniform blend (`sanitized_init`);
+/// * counts summing to zero return the uniform distribution without
+///   iterating (`degenerate_input`) — there is nothing to fit;
+/// * an iteration diverging to a non-finite estimate or log-likelihood is
+///   re-seeded from `½·(last good estimate) + ½·uniform` (`reseeds`), up
+///   to [`MAX_RESEEDS`] times; after that the last good estimate is
+///   returned as the best effort.
 pub fn expectation_maximization_warm<C: ChannelOp + ?Sized>(
     channel: &C,
     counts: &[f64],
@@ -292,17 +360,41 @@ pub fn expectation_maximization_warm<C: ChannelOp + ?Sized>(
     ws: &mut EmWorkspace,
 ) -> EmRun {
     assert_eq!(counts.len(), channel.n_out(), "counts do not match channel outputs");
-    let n_total: f64 = counts.iter().sum();
-    assert!(n_total > 0.0, "no observations");
     let (n_out, n_in) = (channel.n_out(), channel.n_in());
-
     let uniform = 1.0 / n_in as f64;
+    let mut health = EmHealth::default();
+
+    // Sanitize the observation plane up front; the clean (overwhelmingly
+    // common) path borrows the caller's slice and allocates nothing extra.
+    let bad = counts.iter().filter(|c| !c.is_finite() || **c < 0.0).count();
+    let sanitized_counts: Vec<f64>;
+    let counts: &[f64] = if bad > 0 {
+        health.sanitized_counts = bad;
+        sanitized_counts =
+            counts.iter().map(|&c| if c.is_finite() && c >= 0.0 { c } else { 0.0 }).collect();
+        &sanitized_counts
+    } else {
+        counts
+    };
+    let n_total: f64 = counts.iter().sum();
+    if n_total <= 0.0 {
+        // Nothing observed (or everything quarantined): the maximum-
+        // likelihood answer is undefined, so degrade to uniform instead
+        // of panicking mid-stream.
+        health.degenerate_input = true;
+        return EmRun { estimate: vec![uniform; n_in], iters: 0, health };
+    }
+
     let mut f = match init {
         Some(prev) => {
             assert_eq!(prev.len(), n_in, "warm start does not match channel inputs");
+            health.sanitized_init = prev.iter().filter(|p| !p.is_finite() || **p < 0.0).count();
             let mut f: Vec<f64> = prev
                 .iter()
-                .map(|&p| (1.0 - WARM_UNIFORM_MIX) * p + WARM_UNIFORM_MIX * uniform)
+                .map(|&p| {
+                    let p = if p.is_finite() && p >= 0.0 { p } else { 0.0 };
+                    (1.0 - WARM_UNIFORM_MIX) * p + WARM_UNIFORM_MIX * uniform
+                })
                 .collect();
             normalize(&mut f);
             f
@@ -319,11 +411,39 @@ pub fn expectation_maximization_warm<C: ChannelOp + ?Sized>(
         iters += 1;
         // E: predicted output distribution under the current estimate.
         channel.apply(&f, &mut out, ws);
+        // Observed-data log-likelihood of the current estimate (also the
+        // divergence sentinel: a corrupted `out` turns it NaN).
+        let mut ll = 0.0;
+        for (&c, &p) in counts.iter().zip(out.iter()) {
+            if c > 0.0 {
+                ll += c * p.max(1e-300).ln();
+            }
+        }
         // M: multiplicative update through the adjoint.
         for ((w, &c), &p) in weights.iter_mut().zip(counts).zip(out.iter()) {
             *w = if c == 0.0 || p <= 0.0 { 0.0 } else { c / n_total / p };
         }
         channel.accumulate_adjoint(&weights, &f, &mut f_new, ws);
+
+        // Divergence guard — checked *before* normalisation, whose
+        // zero-sum fallback would otherwise flatten a NaN update to
+        // uniform silently. At this point `f` still holds the last good
+        // (finite, by induction) estimate, so recovery re-seeds from its
+        // blend with uniform rather than restarting cold.
+        if !ll.is_finite() || f_new.iter().any(|x| !x.is_finite()) {
+            if health.reseeds >= MAX_RESEEDS {
+                // Best effort: return the last finite estimate as-is.
+                break;
+            }
+            health.reseeds += 1;
+            for x in f.iter_mut() {
+                *x = 0.5 * *x + 0.5 * uniform;
+            }
+            normalize(&mut f);
+            prev_ll = f64::NEG_INFINITY;
+            continue;
+        }
+
         normalize(&mut f_new);
         if let Some(s) = smoother {
             s(&mut f_new);
@@ -331,13 +451,6 @@ pub fn expectation_maximization_warm<C: ChannelOp + ?Sized>(
         }
         std::mem::swap(&mut f, &mut f_new);
 
-        // Convergence on observed-data log-likelihood.
-        let mut ll = 0.0;
-        for (&c, &p) in counts.iter().zip(out.iter()) {
-            if c > 0.0 {
-                ll += c * p.max(1e-300).ln();
-            }
-        }
         if prev_ll.is_finite() {
             let gain = (ll - prev_ll).abs();
             if gain / prev_ll.abs().max(1e-12) < params.rel_tol {
@@ -349,7 +462,7 @@ pub fn expectation_maximization_warm<C: ChannelOp + ?Sized>(
         }
         prev_ll = ll;
     }
-    EmRun { estimate: f, iters }
+    EmRun { estimate: f, iters, health }
 }
 
 /// The 1-D binomial smoother of SW-EMS: weighted average with kernel
@@ -622,6 +735,145 @@ mod tests {
         );
         assert_eq!(via_in, via_warm.estimate, "delegation must be exact");
         assert!(via_warm.iters >= 1 && via_warm.iters <= params.max_iters);
+    }
+
+    #[test]
+    fn zero_total_counts_degrade_to_uniform() {
+        let ch = noisy_channel(4, 0.7);
+        for counts in [vec![0.0; 4], vec![-1.0, f64::NAN, 0.0, f64::NEG_INFINITY]] {
+            let run = expectation_maximization_warm(
+                &ch,
+                &counts,
+                None,
+                None,
+                EmParams::default(),
+                &mut EmWorkspace::new(),
+            );
+            assert!(run.health.degenerate_input);
+            assert_eq!(run.iters, 0);
+            assert_eq!(run.estimate, vec![0.25; 4]);
+        }
+    }
+
+    #[test]
+    fn corrupted_counts_are_sanitized_and_fit_proceeds() {
+        let ch = noisy_channel(4, 0.8);
+        let clean = [40.0, 30.0, 20.0, 10.0];
+        let mut dirty = clean.to_vec();
+        dirty[1] = f64::NAN;
+        dirty[3] = f64::INFINITY;
+        let run = expectation_maximization_warm(
+            &ch,
+            &dirty,
+            None,
+            None,
+            EmParams::default(),
+            &mut EmWorkspace::new(),
+        );
+        assert_eq!(run.health.sanitized_counts, 2);
+        assert!(!run.health.degenerate_input);
+        assert!((run.estimate.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(run.estimate.iter().all(|x| x.is_finite() && *x >= 0.0));
+        // Must match the run on the explicitly-zeroed plane exactly.
+        let zeroed = [40.0, 0.0, 20.0, 0.0];
+        let reference = expectation_maximization_warm(
+            &ch,
+            &zeroed,
+            None,
+            None,
+            EmParams::default(),
+            &mut EmWorkspace::new(),
+        );
+        assert_eq!(run.estimate, reference.estimate);
+        assert!(reference.health.is_clean());
+    }
+
+    #[test]
+    fn corrupted_warm_start_is_sanitized() {
+        let ch = noisy_channel(3, 0.7);
+        let counts = [50.0, 30.0, 20.0];
+        let stale = [f64::NAN, 0.6, 0.4];
+        let run = expectation_maximization_warm(
+            &ch,
+            &counts,
+            Some(&stale),
+            None,
+            EmParams::default(),
+            &mut EmWorkspace::new(),
+        );
+        assert_eq!(run.health.sanitized_init, 1);
+        assert!(run.estimate.iter().all(|x| x.is_finite() && *x >= 0.0));
+        assert!((run.estimate.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diverging_channel_is_reseeded_and_stays_finite() {
+        // A hostile ChannelOp that fabricates NaN from iteration 2 on:
+        // the divergence guard must re-seed (recording it) and the run
+        // must still return a finite distribution.
+        struct Hostile {
+            inner: Channel,
+            calls: std::cell::Cell<usize>,
+        }
+        impl ChannelOp for Hostile {
+            fn n_in(&self) -> usize {
+                self.inner.n_in
+            }
+            fn n_out(&self) -> usize {
+                self.inner.n_out
+            }
+            fn apply(&self, f: &[f64], out: &mut [f64], ws: &mut EmWorkspace) {
+                self.inner.apply(f, out, ws);
+            }
+            fn accumulate_adjoint(
+                &self,
+                w: &[f64],
+                f: &[f64],
+                f_new: &mut [f64],
+                ws: &mut EmWorkspace,
+            ) {
+                self.inner.accumulate_adjoint(w, f, f_new, ws);
+                let k = self.calls.get() + 1;
+                self.calls.set(k);
+                if k >= 2 {
+                    f_new[0] = f64::NAN;
+                }
+            }
+        }
+        let hostile = Hostile { inner: noisy_channel(4, 0.7), calls: std::cell::Cell::new(0) };
+        let counts = [40.0, 30.0, 20.0, 10.0];
+        let run = expectation_maximization_warm(
+            &hostile,
+            &counts,
+            None,
+            None,
+            EmParams { max_iters: 20, rel_tol: 1e-9, gain_tol: 0.0 },
+            &mut EmWorkspace::new(),
+        );
+        assert!(run.health.reseeds >= 1, "divergence must be recorded");
+        assert!(run.estimate.iter().all(|x| x.is_finite() && *x >= 0.0));
+        assert!((run.estimate.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clean_runs_report_clean_health() {
+        let ch = noisy_channel(4, 0.6);
+        let counts = [40.0, 30.0, 20.0, 10.0];
+        let run = expectation_maximization_warm(
+            &ch,
+            &counts,
+            None,
+            None,
+            EmParams::default(),
+            &mut EmWorkspace::new(),
+        );
+        assert!(run.health.is_clean());
+        let mut merged = EmHealth::default();
+        merged.merge(&run.health);
+        merged.merge(&EmHealth { reseeds: 2, degenerate_input: true, ..EmHealth::default() });
+        assert_eq!(merged.reseeds, 2);
+        assert!(merged.degenerate_input);
+        assert!(!merged.is_clean());
     }
 
     #[test]

@@ -30,7 +30,7 @@ pub mod sr;
 pub mod sw;
 
 pub use em::{
-    expectation_maximization, expectation_maximization_in, Channel, ChannelOp, EmParams,
+    expectation_maximization, expectation_maximization_in, Channel, ChannelOp, EmHealth, EmParams,
     EmWorkspace,
 };
 pub use grr::Grr;

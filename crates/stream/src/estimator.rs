@@ -38,9 +38,11 @@
 //! and therefore every window estimate — is bit-identical for any
 //! `threads` value (the crate's determinism suite pins it end to end).
 
+use crate::health::PipelineHealth;
 use crate::ring::EpochRing;
 use crate::tree::CountTree;
 use dam_core::em2d::smooth_2d;
+use dam_core::validate::{sanitize_counts, IngestPolicy};
 use dam_core::{DamClient, DamConfig, EmOperator};
 use dam_fo::em::{EmParams, EmWorkspace};
 use dam_geo::rng::splitmix64;
@@ -78,6 +80,11 @@ pub struct StreamConfig {
     /// distribution needs every cell at a viable launch level; 5% costs
     /// little in steady state and keeps far-field jumps recoverable.
     pub warm_mix: f64,
+    /// What happens to finite out-of-domain report coordinates
+    /// ([`IngestPolicy::Clamp`] by default; non-finite coordinates are
+    /// always quarantined). Quarantine counts surface through
+    /// [`StreamingEstimator::health`].
+    pub policy: IngestPolicy,
     /// Diffusion-forecast passes: how many times the 3×3 binomial
     /// smoother is applied to the diffused half of the warm seed
     /// (`seed = (prev + smoothed)/2` before the uniform blend). A
@@ -103,21 +110,25 @@ impl StreamConfig {
             noise_scale: 0.0,
             warm_em: EmParams::streaming(),
             warm_mix: 0.05,
+            policy: IngestPolicy::Clamp,
             forecast_smooth: 1,
         }
     }
 }
 
 /// One window's estimate plus the EM accounting the streaming story is
-/// about.
+/// about and a snapshot of the pipeline's health at estimation time.
 #[derive(Debug, Clone)]
 pub struct WindowEstimate {
-    /// Normalized estimate over the input grid.
+    /// Normalized estimate over the input grid (always finite).
     pub histogram: Histogram2D,
     /// EM iterations this window took.
     pub em_iters: usize,
     /// Whether the run warm-started from a previous window's estimate.
     pub warm: bool,
+    /// Pipeline health as of this estimate ([`PipelineHealth::is_clean`]
+    /// on a fully healthy run; `partial_window` describes *this* window).
+    pub health: PipelineHealth,
 }
 
 /// Continual-observation wrapper around the SAM pipeline: ingest
@@ -135,6 +146,7 @@ pub struct StreamingEstimator {
     prev: Option<Vec<f64>>,
     epochs: usize,
     reports: u64,
+    health: PipelineHealth,
 }
 
 impl StreamingEstimator {
@@ -157,6 +169,7 @@ impl StreamingEstimator {
             prev: None,
             epochs: 0,
             reports: 0,
+            health: PipelineHealth::default(),
             config,
         }
     }
@@ -207,10 +220,23 @@ impl StreamingEstimator {
         splitmix64(seed ^ splitmix64(epoch as u64 ^ EPOCH_SALT))
     }
 
-    /// Ingests one epoch's points: randomizes every point through the
-    /// sharded report pipeline (bit-identical for any thread count),
-    /// slides the window forward and appends the epoch plane to the
-    /// continual-counting tree. Returns the epoch index just ingested.
+    /// Running fault/degradation telemetry since construction.
+    #[inline]
+    pub fn health(&self) -> &PipelineHealth {
+        &self.health
+    }
+
+    /// Ingests one epoch's points: **validates** every report against the
+    /// grid (quarantining malformed ones per the configured
+    /// [`IngestPolicy`], accounted in [`StreamingEstimator::health`]),
+    /// randomizes the accepted remainder through the sharded report
+    /// pipeline (bit-identical for any thread count), slides the window
+    /// forward and appends the epoch plane to the continual-counting
+    /// tree. Returns the epoch index just ingested.
+    ///
+    /// An all-valid batch produces output bit-identical to the historic
+    /// unvalidated path — quarantined reports consume no randomness, so
+    /// validation is invisible to clean streams.
     ///
     /// The randomize/aggregate/window hot path reuses its buffers (shard
     /// scratch and ring slots); the tree, by contrast, *retains* each
@@ -219,11 +245,57 @@ impl StreamingEstimator {
     /// history is what the O(log T) queries read; see the ROADMAP open
     /// item on a retention policy for bounding it.
     pub fn ingest_epoch(&mut self, points: &[Point]) -> usize {
+        self.ingest_epoch_with(points, |_, _| {})
+    }
+
+    /// [`StreamingEstimator::ingest_epoch`] with a post-aggregation
+    /// tamper hook: after the epoch's validated reports are randomized
+    /// and aggregated, `tamper(epoch, plane)` may mutate the count plane
+    /// before it enters the window ring and the tree. This is the
+    /// fault-injection seam (`fig_stream --inject` wires
+    /// `dam_fault::FaultPlan` plane poisoning through it) — production
+    /// callers use [`StreamingEstimator::ingest_epoch`].
+    ///
+    /// Whatever the hook does, the pipeline stays serving: non-finite or
+    /// negative cells it leaves behind are zeroed before the plane is
+    /// retained, with the repair counted in
+    /// [`PipelineHealth::sanitized_cells`].
+    pub fn ingest_epoch_with<F>(&mut self, points: &[Point], tamper: F) -> usize
+    where
+        F: FnOnce(usize, &mut [f64]),
+    {
         let seed = Self::epoch_seed(self.config.seed, self.epochs);
-        self.client.report_batch_in(points, seed, self.config.dam.threads, &mut self.scratch);
+        let summary = self.client.report_batch_validated_in(
+            points,
+            seed,
+            self.config.dam.threads,
+            self.config.policy,
+            &mut self.scratch,
+        );
+        self.health.ingest.merge(&summary);
+        tamper(self.epochs, &mut self.scratch);
+        self.health.sanitized_cells += sanitize_counts(&mut self.scratch);
         self.ring.push(&self.scratch);
         self.tree.append(&self.scratch);
         self.reports += points.len() as u64;
+        self.health.epochs_ingested += 1;
+        let epoch = self.epochs;
+        self.epochs += 1;
+        epoch
+    }
+
+    /// Records an epoch the collector never delivered (outage, dropped
+    /// batch): a zero plane holds its place so the window keeps sliding
+    /// and later epochs stay time-aligned, and
+    /// [`PipelineHealth::epochs_missed`] counts it. Returns the epoch
+    /// index just recorded.
+    pub fn ingest_missed_epoch(&mut self) -> usize {
+        let n = self.client.kernel().n_out();
+        self.scratch.clear();
+        self.scratch.resize(n, 0.0);
+        self.ring.push(&self.scratch);
+        self.tree.append(&self.scratch);
+        self.health.epochs_missed += 1;
         let epoch = self.epochs;
         self.epochs += 1;
         epoch
@@ -277,16 +349,26 @@ impl StreamingEstimator {
     }
 
     fn run_em(&mut self, init: Option<&[f64]>) -> WindowEstimate {
+        // A stream younger than the window covers fewer epochs than
+        // configured: still a well-defined estimate (the ring sums what
+        // it holds), but flagged so consumers know the evidence is thin.
+        self.health.partial_window = self.ring.len() < self.ring.window();
         let counts = self.ring.window_counts();
         if counts.iter().sum::<f64>() <= 0.0 {
-            // An empty window carries no information; report uniform.
+            // An empty window carries no information; degrade to uniform.
+            self.health.degenerate_windows += 1;
             let n = self.grid.n_cells();
             let uniform = Histogram2D::from_values(self.grid.clone(), vec![1.0 / n as f64; n]);
-            return WindowEstimate { histogram: uniform, em_iters: 0, warm: init.is_some() };
+            return WindowEstimate {
+                histogram: uniform,
+                em_iters: 0,
+                warm: init.is_some(),
+                health: self.health,
+            };
         }
         let warm = init.is_some();
         let params = if warm { self.config.warm_em } else { self.config.dam.em };
-        let (histogram, em_iters) = self.operator.post_process_warm(
+        let outcome = self.operator.post_process_warm(
             counts,
             &self.grid,
             self.config.dam.post,
@@ -294,7 +376,19 @@ impl StreamingEstimator {
             init,
             &mut self.ws,
         );
-        WindowEstimate { histogram, em_iters, warm }
+        self.health.em_reseeds += outcome.em_health.reseeds;
+        if outcome.em_health.degenerate_input {
+            self.health.degenerate_windows += 1;
+        }
+        if outcome.backend_fallback {
+            self.health.backend_fallbacks += 1;
+        }
+        WindowEstimate {
+            histogram: outcome.histogram,
+            em_iters: outcome.em_iters,
+            warm,
+            health: self.health,
+        }
     }
 }
 
@@ -393,6 +487,84 @@ mod tests {
         // for the same epoch range (both exact integer sums).
         let from_tree = s.tree().window(4, 7);
         assert_eq!(s.window_counts(), &from_tree[..]);
+    }
+
+    #[test]
+    fn partial_window_is_flagged_until_the_window_fills() {
+        let grid = Grid2D::new(BoundingBox::unit(), 6);
+        let mut s = StreamingEstimator::new(grid, stream_config(3));
+        s.ingest_epoch(&focus_points((0.5, 0.5), 2_000, 0));
+        let young = s.estimate_window();
+        assert!(young.health.partial_window, "1 of 3 epochs must read as partial");
+        assert!((young.histogram.total() - 1.0).abs() < 1e-9);
+        for e in 1..3 {
+            s.ingest_epoch(&focus_points((0.5, 0.5), 2_000, e));
+        }
+        let full = s.estimate_window();
+        assert!(!full.health.partial_window, "3 of 3 epochs is a full window");
+    }
+
+    #[test]
+    fn quarantine_surfaces_in_health_and_clean_streams_stay_clean() {
+        let grid = Grid2D::new(BoundingBox::unit(), 6);
+        let mut s = StreamingEstimator::new(grid.clone(), stream_config(2));
+        for e in 0..2 {
+            s.ingest_epoch(&focus_points((0.5, 0.5), 3_000, e));
+        }
+        let est = s.estimate_window();
+        assert!(est.health.is_clean(), "{:?}", est.health);
+        assert_eq!(est.health.ingest.seen, 6_000);
+
+        // Same stream with NaN reports sprinkled in: quarantined,
+        // counted, and the estimate still a finite distribution.
+        let mut dirty = StreamingEstimator::new(grid, stream_config(2));
+        for e in 0..2 {
+            let mut pts = focus_points((0.5, 0.5), 3_000, e);
+            pts.insert(100, Point::new(f64::NAN, 0.2));
+            pts.insert(700, Point::new(0.2, f64::INFINITY));
+            dirty.ingest_epoch(&pts);
+        }
+        let est = dirty.estimate_window();
+        assert_eq!(est.health.ingest.quarantined, 4);
+        assert_eq!(est.health.ingest.seen, 6_004);
+        assert!(est.histogram.values().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn missed_epochs_slide_the_window_and_are_counted() {
+        let grid = Grid2D::new(BoundingBox::unit(), 6);
+        let mut s = StreamingEstimator::new(grid, stream_config(2));
+        for e in 0..2 {
+            s.ingest_epoch(&focus_points((0.3, 0.3), 3_000, e));
+        }
+        // Two missed epochs push both real ones out of the window.
+        s.ingest_missed_epoch();
+        let half = s.estimate_window();
+        assert_eq!(half.health.epochs_missed, 1);
+        assert!(half.em_iters > 0, "one real epoch remains in the window");
+        s.ingest_missed_epoch();
+        let empty = s.estimate_window();
+        assert_eq!(empty.health.epochs_missed, 2);
+        assert!(empty.health.degenerate_windows >= 1, "empty window must degrade");
+        assert_eq!(s.epochs(), 4, "missed epochs still advance time");
+    }
+
+    #[test]
+    fn tampered_planes_are_sanitized_before_retention() {
+        let grid = Grid2D::new(BoundingBox::unit(), 6);
+        let mut s = StreamingEstimator::new(grid, stream_config(2));
+        s.ingest_epoch_with(&focus_points((0.5, 0.5), 3_000, 0), |_, plane| {
+            plane[0] = f64::NAN;
+            plane[1] = f64::INFINITY;
+            plane[2] = -5.0;
+        });
+        assert_eq!(s.health().sanitized_cells, 3);
+        // The retained plane (ring and tree alike) is finite.
+        assert!(s.window_counts().iter().all(|v| v.is_finite() && *v >= 0.0));
+        assert!(s.tree().window(0, 1).iter().all(|v| v.is_finite() && *v >= 0.0));
+        let est = s.estimate_window();
+        assert!(est.histogram.values().iter().all(|v| v.is_finite()));
+        assert!(!est.health.is_clean());
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Pipeline health: structured errors for window queries and the running
+//! fault/degradation telemetry of a streaming deployment.
+//!
+//! A long-running estimator cannot treat malformed input as fatal — the
+//! stream keeps coming — but it also must not degrade *silently*: an
+//! operator looking at a heatmap needs to know whether it was computed
+//! from a full window of validated reports or from half a window with a
+//! third of the reports quarantined and the EM solver re-seeded twice.
+//! [`PipelineHealth`] is that record. The estimator keeps a running copy
+//! (everything since construction) and stamps a snapshot onto every
+//! [`crate::WindowEstimate`], so each published estimate carries the
+//! state of the pipeline that produced it.
+//!
+//! [`StreamError`] is the non-panicking face of the [`crate::CountTree`]
+//! query-bounds checks, for callers (replay tools, remote query servers)
+//! whose `t` comes from outside the process.
+
+use dam_core::validate::IngestSummary;
+
+/// A window/prefix query that cannot be answered as posed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamError {
+    /// The query asks for epochs beyond what has been ingested.
+    PastStreamHead {
+        /// Requested (exclusive) end epoch.
+        t: usize,
+        /// Epochs actually ingested.
+        len: usize,
+    },
+    /// The window's bounds are reversed (`t0 > t1`).
+    ReversedWindow {
+        /// Requested start epoch.
+        t0: usize,
+        /// Requested (exclusive) end epoch.
+        t1: usize,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            StreamError::PastStreamHead { t, len } => {
+                write!(f, "prefix past the stream head: {t} > {len}")
+            }
+            StreamError::ReversedWindow { t0, t1 } => {
+                write!(f, "window bounds reversed: [{t0}, {t1})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Running fault/degradation telemetry of one streaming pipeline.
+///
+/// Counters accumulate over the estimator's lifetime; `partial_window`
+/// describes the *most recent* estimate. A fully healthy pipeline
+/// satisfies [`PipelineHealth::is_clean`] forever.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineHealth {
+    /// Validated-ingest accounting: reports seen / quarantined / clamped
+    /// across every epoch so far.
+    pub ingest: IngestSummary,
+    /// Epochs that ingested a report batch (possibly empty after
+    /// quarantine).
+    pub epochs_ingested: usize,
+    /// Epochs recorded as missed ([`crate::StreamingEstimator::ingest_missed_epoch`]):
+    /// the collector delivered nothing, and a zero plane holds the
+    /// window's place so time stays aligned.
+    pub epochs_missed: usize,
+    /// Count-plane cells zeroed at ingest because they were non-finite or
+    /// negative (only a tampered/corrupted plane can trip this — the
+    /// in-process randomizer emits whole numbers).
+    pub sanitized_cells: usize,
+    /// EM divergence re-seeds across all window estimates.
+    pub em_reseeds: usize,
+    /// Window estimates degraded to uniform because the (sanitized)
+    /// window held no observations.
+    pub degenerate_windows: usize,
+    /// Times the FFT backend diverged and PostProcess was redone on the
+    /// exact stencil operator.
+    pub backend_fallbacks: usize,
+    /// The most recent estimate covered fewer epochs than the configured
+    /// window (stream younger than the window length).
+    pub partial_window: bool,
+}
+
+impl PipelineHealth {
+    /// `true` while nothing has ever been quarantined, sanitized,
+    /// re-seeded, missed or truncated.
+    pub fn is_clean(&self) -> bool {
+        self.ingest.quarantined == 0
+            && self.ingest.clamped == 0
+            && self.epochs_missed == 0
+            && self.sanitized_cells == 0
+            && self.em_reseeds == 0
+            && self.degenerate_windows == 0
+            && self.backend_fallbacks == 0
+            && !self.partial_window
+    }
+
+    /// One-line operator summary (the `fig_stream --inject` footer).
+    pub fn summary(&self) -> String {
+        format!(
+            "seen {} quarantined {} clamped {} | epochs {}+{} missed | sanitized {} | \
+             em reseeds {} degenerate {} fallbacks {}{}",
+            self.ingest.seen,
+            self.ingest.quarantined,
+            self.ingest.clamped,
+            self.epochs_ingested,
+            self.epochs_missed,
+            self.sanitized_cells,
+            self.em_reseeds,
+            self.degenerate_windows,
+            self.backend_fallbacks,
+            if self.partial_window { " | partial window" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_health_is_clean() {
+        let h = PipelineHealth::default();
+        assert!(h.is_clean());
+        assert!(h.summary().contains("seen 0"));
+    }
+
+    #[test]
+    fn any_fault_marks_dirty() {
+        for h in [
+            PipelineHealth {
+                ingest: IngestSummary { seen: 5, quarantined: 1, clamped: 0 },
+                ..PipelineHealth::default()
+            },
+            PipelineHealth { epochs_missed: 1, ..PipelineHealth::default() },
+            PipelineHealth { sanitized_cells: 2, ..PipelineHealth::default() },
+            PipelineHealth { em_reseeds: 1, ..PipelineHealth::default() },
+            PipelineHealth { degenerate_windows: 1, ..PipelineHealth::default() },
+            PipelineHealth { backend_fallbacks: 1, ..PipelineHealth::default() },
+            PipelineHealth { partial_window: true, ..PipelineHealth::default() },
+        ] {
+            assert!(!h.is_clean(), "{h:?}");
+        }
+        // Growth alone (epochs, accepted reports) stays clean.
+        let busy = PipelineHealth {
+            ingest: IngestSummary { seen: 100, quarantined: 0, clamped: 0 },
+            epochs_ingested: 10,
+            ..PipelineHealth::default()
+        };
+        assert!(busy.is_clean());
+    }
+
+    #[test]
+    fn stream_errors_render() {
+        assert_eq!(
+            StreamError::PastStreamHead { t: 9, len: 4 }.to_string(),
+            "prefix past the stream head: 9 > 4"
+        );
+        assert_eq!(
+            StreamError::ReversedWindow { t0: 3, t1: 1 }.to_string(),
+            "window bounds reversed: [3, 1)"
+        );
+    }
+}

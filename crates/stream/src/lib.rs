@@ -29,9 +29,11 @@
 //! iteration ratio, O(log T) window-query scaling).
 
 pub mod estimator;
+pub mod health;
 pub mod ring;
 pub mod tree;
 
 pub use estimator::{StreamConfig, StreamingEstimator, WindowEstimate};
+pub use health::{PipelineHealth, StreamError};
 pub use ring::EpochRing;
 pub use tree::CountTree;

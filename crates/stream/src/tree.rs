@@ -34,6 +34,7 @@
 //! pure function of the plane size, so output bits are identical for any
 //! thread count (the determinism suite covers both regimes).
 
+use crate::health::StreamError;
 use dam_core::tuning::PARALLEL_WORK_THRESHOLD;
 use dam_geo::rng::splitmix64;
 use rand::rngs::StdRng;
@@ -141,11 +142,25 @@ impl CountTree {
     }
 
     /// Writes the (noisy, if configured) prefix sum `[0, t)` into `out`.
+    ///
+    /// Panics on out-of-range `t` — the right contract for in-process
+    /// callers whose bounds are their own invariants. Callers whose `t`
+    /// crosses a trust boundary use [`CountTree::try_prefix_into`].
     pub fn prefix_into(&self, t: usize, out: &mut [f64]) {
-        assert!(t <= self.len(), "prefix past the stream head: {t} > {}", self.len());
+        self.try_prefix_into(t, out).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`CountTree::prefix_into`] returning a structured
+    /// [`StreamError`] instead of panicking when `t` exceeds the epochs
+    /// ingested — for queries arriving from outside the process.
+    pub fn try_prefix_into(&self, t: usize, out: &mut [f64]) -> Result<(), StreamError> {
+        if t > self.len() {
+            return Err(StreamError::PastStreamHead { t, len: self.len() });
+        }
         assert_eq!(out.len(), self.n_cells, "output does not match tree width");
         out.fill(0.0);
         self.accumulate_prefix(t, 1.0, out);
+        Ok(())
     }
 
     /// Writes the window sum `[t0, t1)` into `out` as the difference of
@@ -153,10 +168,44 @@ impl CountTree {
     /// floating-point rounding (noise included — a node's noise is
     /// deterministic), so the realised noise covers only the symmetric
     /// difference; exact planes cancel exactly (integer arithmetic).
+    ///
+    /// Panics on reversed or out-of-range bounds; see
+    /// [`CountTree::try_window_into`] for the structured-error form.
     pub fn window_into(&self, t0: usize, t1: usize, out: &mut [f64]) {
-        assert!(t0 <= t1, "window bounds reversed: [{t0}, {t1})");
-        self.prefix_into(t1, out);
+        self.try_window_into(t0, t1, out).unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`CountTree::window_into`] returning a structured [`StreamError`]
+    /// on reversed bounds or a window past the stream head.
+    pub fn try_window_into(
+        &self,
+        t0: usize,
+        t1: usize,
+        out: &mut [f64],
+    ) -> Result<(), StreamError> {
+        if t0 > t1 {
+            return Err(StreamError::ReversedWindow { t0, t1 });
+        }
+        self.try_prefix_into(t1, out)?;
         self.accumulate_prefix(t0, -1.0, out);
+        Ok(())
+    }
+
+    /// The window `[t0, t1)` clamped to the epochs actually ingested,
+    /// plus whether clamping truncated it. The well-defined answer for
+    /// under-filled streams: asking for the last `W` epochs of a stream
+    /// only `3 < W` epochs old returns the 3-epoch partial window and
+    /// `true`, rather than panicking or inventing zeros. Reversed bounds
+    /// still error — there is no sensible reading of `[5, 2)`.
+    pub fn window_clamped(&self, t0: usize, t1: usize) -> Result<(Vec<f64>, bool), StreamError> {
+        if t0 > t1 {
+            return Err(StreamError::ReversedWindow { t0, t1 });
+        }
+        let head = self.len();
+        let (c0, c1) = (t0.min(head), t1.min(head));
+        let mut out = vec![0.0; self.n_cells];
+        self.try_window_into(c0, c1, &mut out)?;
+        Ok((out, (c0, c1) != (t0, t1)))
     }
 
     /// [`CountTree::prefix_into`], allocating.
@@ -371,5 +420,55 @@ mod tests {
     fn prefix_past_head_is_rejected() {
         let tree = CountTree::exact(4);
         tree.prefix(1);
+    }
+
+    #[test]
+    fn try_queries_return_structured_errors() {
+        let n_cells = 4;
+        let mut tree = CountTree::exact(n_cells);
+        for e in 0..3 {
+            tree.append(&epoch_plane(e, n_cells));
+        }
+        let mut out = vec![0.0; n_cells];
+        assert_eq!(
+            tree.try_prefix_into(5, &mut out),
+            Err(StreamError::PastStreamHead { t: 5, len: 3 })
+        );
+        assert_eq!(
+            tree.try_window_into(2, 1, &mut out),
+            Err(StreamError::ReversedWindow { t0: 2, t1: 1 })
+        );
+        assert_eq!(
+            tree.try_window_into(1, 9, &mut out),
+            Err(StreamError::PastStreamHead { t: 9, len: 3 })
+        );
+        // The Ok path matches the panicking API exactly.
+        tree.try_window_into(1, 3, &mut out).unwrap();
+        assert_eq!(out, tree.window(1, 3));
+    }
+
+    #[test]
+    fn clamped_window_truncates_to_the_stream_head() {
+        let n_cells = 5;
+        let mut tree = CountTree::exact(n_cells);
+        let planes: Vec<Vec<f64>> = (0..3).map(|e| epoch_plane(e, n_cells)).collect();
+        for plane in &planes {
+            tree.append(plane);
+        }
+        // A window wholly inside the stream is exact and not partial.
+        let (full, partial) = tree.window_clamped(0, 3).unwrap();
+        assert!(!partial);
+        assert_eq!(full, naive_window(&planes, 0, 3, n_cells));
+        // Asking for the last 5 epochs of a 3-epoch stream: the held
+        // suffix comes back, flagged partial.
+        let (clipped, partial) = tree.window_clamped(1, 5).unwrap();
+        assert!(partial);
+        assert_eq!(clipped, naive_window(&planes, 1, 3, n_cells));
+        // A window entirely beyond the head degenerates to empty+partial.
+        let (empty, partial) = tree.window_clamped(7, 9).unwrap();
+        assert!(partial);
+        assert!(empty.iter().all(|&v| v == 0.0));
+        // Reversed bounds still have no sensible clamped reading.
+        assert_eq!(tree.window_clamped(2, 1), Err(StreamError::ReversedWindow { t0: 2, t1: 1 }));
     }
 }

@@ -38,6 +38,15 @@ pub enum TransportError {
     /// The simplex failed to converge within its iteration budget
     /// (should not happen; kept instead of looping forever).
     IterationLimit,
+    /// An input mass is `NaN` or infinite. Rejected explicitly because
+    /// `NaN` slips through every magnitude comparison (`NaN <= 0` and
+    /// `NaN > tol` are both false), so without this check a corrupted
+    /// histogram would sail past the emptiness and balance guards and
+    /// poison the solve.
+    NonFinite {
+        /// Flat index of the first offending entry.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for TransportError {
@@ -48,11 +57,25 @@ impl std::fmt::Display for TransportError {
                 write!(f, "unbalanced masses: source {source} vs target {target}")
             }
             TransportError::IterationLimit => write!(f, "transportation simplex iteration limit"),
+            TransportError::NonFinite { index } => {
+                write!(f, "non-finite mass at index {index}")
+            }
         }
     }
 }
 
 impl std::error::Error for TransportError {}
+
+/// Rejects the first non-finite entry of a mass vector with a structured
+/// error (shared by every solver entry point — see
+/// [`TransportError::NonFinite`] for why the magnitude guards alone
+/// cannot catch `NaN`).
+pub(crate) fn check_finite(masses: &[f64]) -> Result<(), TransportError> {
+    match masses.iter().position(|m| !m.is_finite()) {
+        Some(index) => Err(TransportError::NonFinite { index }),
+        None => Ok(()),
+    }
+}
 
 /// Basic cell of the transportation tableau.
 #[derive(Debug, Clone, Copy)]
@@ -76,6 +99,8 @@ pub fn solve_exact(
 ) -> Result<TransportPlan, TransportError> {
     assert_eq!(a.len(), cost.rows(), "source mass length mismatch");
     assert_eq!(b.len(), cost.cols(), "target mass length mismatch");
+    check_finite(a)?;
+    check_finite(b)?;
     let sa: f64 = a.iter().sum();
     let sb: f64 = b.iter().sum();
     if sa <= 0.0 || sb <= 0.0 {

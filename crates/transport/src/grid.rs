@@ -41,7 +41,7 @@
 //! mirror [`crate::sinkhorn`] ([`SinkhornParams`] is shared), so the two
 //! solvers agree within entropic tolerance wherever both are feasible.
 
-use crate::exact::TransportError;
+use crate::exact::{check_finite, TransportError};
 use crate::sinkhorn::SinkhornParams;
 use rayon::prelude::*;
 
@@ -90,6 +90,8 @@ pub fn grid_sinkhorn_cost(
     let n = d * d;
     assert_eq!(a.len(), n, "source histogram does not match a {d}x{d} grid");
     assert_eq!(b.len(), n, "target histogram does not match a {d}x{d} grid");
+    check_finite(a)?;
+    check_finite(b)?;
     let sa: f64 = a.iter().sum();
     let sb: f64 = b.iter().sum();
     if sa <= 0.0 || sb <= 0.0 {
@@ -539,6 +541,47 @@ mod tests {
             grid_sinkhorn_cost(&a, &b, 3, SinkhornParams::default()),
             Err(TransportError::UnbalancedMass { .. })
         ));
+    }
+
+    #[test]
+    fn rejects_non_finite_masses_on_every_solver_entry() {
+        // NaN defeats the magnitude guards (`NaN <= 0` and `NaN > tol`
+        // are both false), so each entry point must reject it explicitly
+        // — from either argument, with the offending index reported.
+        let mut a = vec![1.0; 9];
+        let b = vec![1.0; 9];
+        a[4] = f64::NAN;
+        assert_eq!(
+            grid_sinkhorn_cost(&a, &b, 3, SinkhornParams::default()),
+            Err(TransportError::NonFinite { index: 4 })
+        );
+        assert_eq!(
+            grid_sinkhorn_cost(&b, &a, 3, SinkhornParams::default()),
+            Err(TransportError::NonFinite { index: 4 })
+        );
+        a[4] = f64::INFINITY;
+        assert_eq!(
+            grid_sinkhorn_cost(&a, &b, 3, SinkhornParams::default()),
+            Err(TransportError::NonFinite { index: 4 })
+        );
+        let mut c = vec![0.0; 81];
+        for i in 0..9 {
+            for j in 0..9 {
+                let (ix, iy) = ((i % 3) as f64, (i / 3) as f64);
+                let (jx, jy) = ((j % 3) as f64, (j / 3) as f64);
+                c[i * 9 + j] = (ix - jx).powi(2) + (iy - jy).powi(2);
+            }
+        }
+        let cost = crate::cost::CostMatrix::from_values(9, 9, c);
+        a[4] = f64::NAN;
+        assert_eq!(
+            crate::sinkhorn::sinkhorn_cost(&a, &b, &cost, SinkhornParams::default()),
+            Err(TransportError::NonFinite { index: 4 })
+        );
+        assert_eq!(
+            crate::exact::solve_exact(&a, &b, &cost).unwrap_err(),
+            TransportError::NonFinite { index: 4 }
+        );
     }
 
     #[test]

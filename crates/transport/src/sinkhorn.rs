@@ -55,6 +55,8 @@ pub fn sinkhorn_cost(
 ) -> Result<f64, TransportError> {
     assert_eq!(a.len(), cost.rows(), "source mass length mismatch");
     assert_eq!(b.len(), cost.cols(), "target mass length mismatch");
+    crate::exact::check_finite(a)?;
+    crate::exact::check_finite(b)?;
     let sa: f64 = a.iter().sum();
     let sb: f64 = b.iter().sum();
     if sa <= 0.0 || sb <= 0.0 {

@@ -1,0 +1,157 @@
+//! Pyramid range-query benchmarks: the costs behind the
+//! serve-while-ingesting story at dashboard resolutions d ∈ {64, 256}.
+//!
+//! * **Build** — exact bottom-up aggregation of a d×d plane
+//!   ([`Pyramid::from_plane`], paid once per published snapshot);
+//! * **Constrained inference** — the Hay-style bottom-up fusion +
+//!   top-down consistency pass over all noisy levels
+//!   ([`Pyramid::constrained`], paid once per hierarchy fit);
+//! * **Answering** — the minimal-node-cover walk vs naive O(cells)
+//!   summation for a large (d/2 × d/2) centered range; the committed
+//!   `BENCH_range.json` pins the cover path ≥ 10× over naive at d = 256
+//!   along with the node counts that explain it.
+//!
+//! Emits `BENCH_range.json` at the repo root so later PRs can regress
+//! against the recorded trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dam_core::{NoisyLevel, Pyramid};
+use std::hint::black_box;
+
+const SIDES: [u32; 2] = [64, 256];
+
+/// Deterministic clustered plane (two dense blocks over a low floor —
+/// the shape constrained inference is built for).
+fn clustered_plane(d: u32) -> Vec<f64> {
+    (0..d * d)
+        .map(|i| {
+            let (x, y) = (i % d, i / d);
+            let hot_a = x < d / 4 && y < d / 4;
+            let hot_b = x >= 3 * d / 4 && y >= d / 2;
+            let base = ((i * 13) % 7) as f64 * 0.01;
+            base + if hot_a {
+                5.0
+            } else if hot_b {
+                3.0
+            } else {
+                0.1
+            }
+        })
+        .collect()
+}
+
+/// Noisy per-level observations of the plane's true aggregates
+/// (deterministic perturbation; the pass's cost does not depend on the
+/// noise realization).
+fn noisy_levels(exact: &Pyramid) -> Vec<Vec<f64>> {
+    exact
+        .levels()
+        .iter()
+        .enumerate()
+        .map(|(li, lv)| {
+            lv.values()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| if li == 0 { v } else { v + 0.02 * ((li + i) % 5) as f64 - 0.04 })
+                .collect()
+        })
+        .collect()
+}
+
+/// The large centered range the answering benches use: d/2 × d/2, offset
+/// by one cell so the cover cannot collapse to a single aligned node.
+fn large_range(d: u32) -> (u32, u32, u32, u32) {
+    (d / 4 + 1, d / 4 + 1, 3 * d / 4, 3 * d / 4)
+}
+
+fn naive_range_sum(plane: &[f64], d: u32, q: (u32, u32, u32, u32)) -> f64 {
+    let mut acc = 0.0;
+    for y in q.1..=q.3 {
+        for x in q.0..=q.2 {
+            acc += plane[(y * d + x) as usize];
+        }
+    }
+    acc
+}
+
+fn bench_range(c: &mut Criterion) {
+    for &d in &SIDES {
+        let plane = clustered_plane(d);
+        let exact = Pyramid::from_plane(&plane, d);
+        let noisy = noisy_levels(&exact);
+        let levels: Vec<NoisyLevel> = noisy
+            .iter()
+            .enumerate()
+            .map(|(li, v)| NoisyLevel { values: v, variance: if li == 0 { 0.0 } else { 0.05 } })
+            .collect();
+        let q = large_range(d);
+
+        let mut group = c.benchmark_group("pyramid_build");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("from_plane", d), &d, |bench, _| {
+            bench.iter(|| black_box(Pyramid::from_plane(&plane, d)));
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group("constrained");
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("infer", d), &d, |bench, _| {
+            bench.iter(|| black_box(Pyramid::constrained(&levels, d)));
+        });
+        group.finish();
+
+        let mut group = c.benchmark_group("range_answer");
+        group.bench_with_input(BenchmarkId::new("cover", d), &d, |bench, _| {
+            bench.iter(|| black_box(exact.range_sum(q.0, q.1, q.2, q.3)));
+        });
+        group.bench_with_input(BenchmarkId::new("naive", d), &d, |bench, _| {
+            bench.iter(|| black_box(naive_range_sum(&plane, d, q)));
+        });
+        group.finish();
+    }
+
+    emit_bench_json(c);
+}
+
+fn emit_bench_json(c: &Criterion) {
+    let median = |name: String| -> Option<f64> {
+        c.results().iter().find(|(n, _)| n == &name).map(|&(_, ns)| ns)
+    };
+    let mut rows = String::new();
+    for (i, &d) in SIDES.iter().enumerate() {
+        let (Some(build), Some(infer), Some(cover), Some(naive)) = (
+            median(format!("pyramid_build/from_plane/{d}")),
+            median(format!("constrained/infer/{d}")),
+            median(format!("range_answer/cover/{d}")),
+            median(format!("range_answer/naive/{d}")),
+        ) else {
+            eprintln!("range results missing for d={d}; not writing BENCH_range.json");
+            return;
+        };
+        let q = large_range(d);
+        let plane = clustered_plane(d);
+        let exact = Pyramid::from_plane(&plane, d);
+        let (_, nodes) = exact.range_sum_counted(q.0, q.1, q.2, q.3);
+        let cells = ((q.2 + 1 - q.0) as u64) * ((q.3 + 1 - q.1) as u64);
+        rows += &format!(
+            "    {{\"d\": {d}, \"build_ns\": {build:.0}, \"constrained_ns\": {infer:.0}, \
+             \"range_cells\": {cells}, \"cover_nodes\": {nodes}, \"cover_ns\": {cover:.0}, \
+             \"naive_ns\": {naive:.0}, \"speedup\": {:.2}}}{}\n",
+            naive / cover,
+            if i + 1 < SIDES.len() { "," } else { "" },
+        );
+    }
+    let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    let json = format!(
+        "{{\n  \"bench\": \"range\",\n  \"threads\": {threads},\n  \
+         \"query\": \"centered d/2 x d/2, one-cell offset\",\n  \"sides\": [\n{rows}  ]\n}}\n",
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_range.json");
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path} (cover-over-naive speedup per row)"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(benches, bench_range);
+criterion_main!(benches);

@@ -35,6 +35,11 @@
 //! * [`em2d`] — the EM/EMS "PostProcess" step on the 2-D grid, running on
 //!   the auto-selected structured operator by default
 //!   ([`em2d::EmBackend`] pins the stencil/FFT/dense paths explicitly);
+//! * [`pyramid`] — hierarchical estimate pyramids: dyadic aggregate
+//!   levels over any count/estimate plane with Hay-style constrained
+//!   inference (every node equals the sum of its children) and
+//!   minimal-node-cover range sums, shared by `dam-range`'s oracle and
+//!   `dam-stream`'s query service;
 //! * [`estimator`] — the end-to-end pipeline (Algorithm 1) packaged as the
 //!   [`estimator::SpatialEstimator`] trait implemented by every mechanism
 //!   in the workspace, plus the client/aggregator split
@@ -47,6 +52,7 @@ pub mod estimator;
 pub mod fft;
 pub mod grid;
 pub mod kernel;
+pub mod pyramid;
 pub mod radius;
 pub mod response;
 pub mod sam;
@@ -62,6 +68,7 @@ pub use estimator::{
 pub use fft::Fft2d;
 pub use grid::{CellClass, DiskGeometry, KernelKind};
 pub use kernel::DiscreteKernel;
+pub use pyramid::{NoisyLevel, Pyramid, PyramidLevel};
 pub use radius::{mutual_information_bound, optimal_b};
 pub use response::GridAreaResponse;
 pub use validate::{IngestError, IngestPolicy, IngestSummary};

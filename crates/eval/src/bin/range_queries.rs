@@ -2,9 +2,11 @@
 //! DAM "can combine with the methods of HIO, HDG and AHEAD to further
 //! improve the accuracy in private range query").
 //!
-//! Compares three ε-LDP range-query engines on the Crime dataset across
-//! query selectivities: (1) DAM estimate + cell summation, (2) the
-//! hierarchical HIO-style oracle, (3) CFO estimate + cell summation.
+//! Compares ε-LDP range-query engines on the Crime dataset across query
+//! selectivities: (1) DAM estimate read through the pyramid-backed
+//! [`dam_range::RangeIndex`], (2) the hierarchical HIO-style oracle with
+//! constrained inference, (3) the same oracle's raw independent levels
+//! (the pre-consistency ablation), (4) CFO estimate + cell summation.
 //! Metric: mean absolute error of the range fraction over 200 random
 //! queries per selectivity.
 
@@ -14,7 +16,7 @@ use dam_data::DatasetKind;
 use dam_eval::{CliArgs, EvalContext, Report};
 use dam_geo::rng::derived;
 use dam_geo::Grid2D;
-use dam_range::{answer_from_histogram, random_queries, HierarchicalOracle};
+use dam_range::{answer_from_histogram, random_queries, HierarchicalOracle, RangeIndex};
 
 fn main() {
     let args = CliArgs::parse();
@@ -30,20 +32,22 @@ fn main() {
     // Fit each engine once.
     let mut rng = derived(ctx.seed, 0x7A4E);
     let dam_est = DamEstimator::new(DamConfig::dam(eps)).estimate(points, &grid, &mut rng);
+    let dam_idx = RangeIndex::new(&dam_est);
     let cfo_est = CfoEstimator::new(eps, CfoFlavor::Oue).estimate(points, &grid, &mut rng);
     let hio = HierarchicalOracle::fit(points, &grid, eps, &mut rng);
 
     let mut report = Report::new(
         "Range queries: mean |error| of range fraction (Crime part B, eps=2, d=16)",
-        &["selectivity", "queries", "DAM+sum", "HIO", "CFO+sum"],
+        &["selectivity", "queries", "DAM+pyr", "HIO", "HIO-raw", "CFO+sum"],
     );
     for sel in [0.125, 0.25, 0.5, 0.75] {
         let queries = random_queries(d, 200, sel, &mut rng);
-        let (mut e_dam, mut e_hio, mut e_cfo) = (0.0, 0.0, 0.0);
+        let (mut e_dam, mut e_hio, mut e_raw, mut e_cfo) = (0.0, 0.0, 0.0, 0.0);
         for q in &queries {
             let truth = q.true_answer(&grid, points);
-            e_dam += (answer_from_histogram(&dam_est, q) - truth).abs();
+            e_dam += (dam_idx.answer(q) - truth).abs();
             e_hio += (hio.answer(q) - truth).abs();
+            e_raw += (hio.answer_independent(q) - truth).abs();
             e_cfo += (answer_from_histogram(&cfo_est, q) - truth).abs();
         }
         let n = queries.len() as f64;
@@ -52,6 +56,7 @@ fn main() {
             queries.len().to_string(),
             format!("{:.5}", e_dam / n),
             format!("{:.5}", e_hio / n),
+            format!("{:.5}", e_raw / n),
             format!("{:.5}", e_cfo / n),
         ]);
     }

@@ -21,7 +21,13 @@
 //!   window's EM **warm-starts** from the previous window's estimate via
 //!   a long-lived operator + workspace, converging in a few iterations in
 //!   steady state instead of a cold run's hundreds. All SAM variants and
-//!   EM backends ride it unchanged.
+//!   EM backends ride it unchanged;
+//! * [`service`] — the serve-while-ingesting [`service::QueryService`]:
+//!   one writer ingests epochs while any number of query threads answer
+//!   point/range/heatmap queries from an immutable epoch-versioned
+//!   snapshot (window estimate + its `dam_core::Pyramid` + health),
+//!   swapped atomically at each window close — answers are bit-identical
+//!   for any thread count and any ingest/query interleaving.
 //!
 //! `cargo run --release -p dam-eval --bin fig_stream` drives the
 //! moving-foci evaluation; `cargo bench -p dam-bench --bench streaming`
@@ -31,9 +37,11 @@
 pub mod estimator;
 pub mod health;
 pub mod ring;
+pub mod service;
 pub mod tree;
 
 pub use estimator::{StreamConfig, StreamingEstimator, WindowEstimate};
 pub use health::{PipelineHealth, StreamError};
 pub use ring::EpochRing;
+pub use service::{QueryService, Snapshot};
 pub use tree::CountTree;

@@ -1,0 +1,204 @@
+//! Serve-while-ingesting query service over the streaming estimator.
+//!
+//! [`QueryService`] is the long-lived struct the ROADMAP's production
+//! story (dashboards querying *while* millions of users report) needs:
+//! it owns a [`StreamingEstimator`] and, at each window close, publishes
+//! an immutable epoch-versioned [`Snapshot`] — the window estimate, its
+//! [`Pyramid`] (so large ranges read a boundary-proportional node cover
+//! instead of O(cells)), and the [`PipelineHealth`] at that instant.
+//!
+//! Concurrency model — **single writer, wait-free-in-practice readers**:
+//!
+//! * ingest (`ingest_epoch` / `ingest_missed_epoch`) serializes on a
+//!   `Mutex<StreamingEstimator>`; the epoch is ingested and the window
+//!   re-estimated *outside* any reader-visible state, then the finished
+//!   snapshot is swapped in under a brief `RwLock<Arc<Snapshot>>` write;
+//! * queries (`point` / `range` / `heatmap` / `snapshot`) clone the
+//!   `Arc` under a read lock and compute entirely on that immutable
+//!   snapshot.
+//!
+//! Readers therefore never observe a half-built estimate: every answer
+//! is computed against exactly one published epoch boundary. Because the
+//! estimator itself is bit-identical for any thread count (sharded
+//! deterministic report streams, deterministic EM), the published
+//! snapshots — and hence all query answers — are **bit-identical for
+//! any thread count and any ingest/query interleaving** within an
+//! epoch; only *which* epoch a racing query observes can vary, never
+//! the value answered for a given epoch. `crates/stream/tests/service.rs`
+//! pins both properties.
+
+use std::sync::Arc;
+
+use crate::estimator::{StreamConfig, StreamingEstimator};
+use crate::health::PipelineHealth;
+use dam_core::Pyramid;
+use dam_geo::{Grid2D, Histogram2D, Point};
+use parking_lot::{Mutex, RwLock};
+
+/// One immutable epoch-versioned view of the stream: everything a query
+/// needs, frozen at a window close.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// How many epochs had been ingested when this snapshot was
+    /// published (0 = the pre-ingest uniform snapshot).
+    pub epoch: usize,
+    /// The normalized sliding-window estimate.
+    pub estimate: Histogram2D,
+    /// The estimate's aggregate pyramid (exact: every node is the sum
+    /// of its children, built by [`Pyramid::from_plane`]).
+    pub pyramid: Pyramid,
+    /// EM iterations the window took (0 for the initial snapshot).
+    pub em_iters: usize,
+    /// Whether the window warm-started from the previous estimate.
+    pub warm: bool,
+    /// Pipeline health as of this snapshot.
+    pub health: PipelineHealth,
+}
+
+/// A long-lived serve-while-ingesting facade over one
+/// [`StreamingEstimator`]: ingest epochs from one thread while any
+/// number of query threads read the latest published snapshot.
+pub struct QueryService {
+    estimator: Mutex<StreamingEstimator>,
+    latest: RwLock<Arc<Snapshot>>,
+}
+
+impl QueryService {
+    /// Builds the service with the estimator's grid and configuration.
+    /// Until the first epoch closes, queries answer from the uniform
+    /// (non-informative) snapshot at epoch 0.
+    pub fn new(grid: Grid2D, config: StreamConfig) -> Self {
+        let d = grid.d();
+        let n = grid.n_cells() as f64;
+        let uniform = Histogram2D::from_values(grid.clone(), vec![1.0 / n; grid.n_cells()]);
+        let initial = Snapshot {
+            epoch: 0,
+            pyramid: Pyramid::from_plane(uniform.values(), d),
+            estimate: uniform,
+            em_iters: 0,
+            warm: false,
+            health: PipelineHealth::default(),
+        };
+        Self {
+            estimator: Mutex::new(StreamingEstimator::new(grid, config)),
+            latest: RwLock::new(Arc::new(initial)),
+        }
+    }
+
+    /// Ingests one epoch of reports, re-estimates the sliding window,
+    /// and atomically publishes the new snapshot. Returns the epoch
+    /// index just ingested (the estimator's convention). Queries keep
+    /// answering from the previous snapshot until the swap.
+    pub fn ingest_epoch(&self, points: &[Point]) -> usize {
+        let mut est = self.estimator.lock();
+        let epoch = est.ingest_epoch(points);
+        self.publish(&mut est);
+        epoch
+    }
+
+    /// Advances the stream over an epoch with no reports (upstream
+    /// outage): the window slides, the estimate degrades gracefully, and
+    /// a fresh snapshot is still published. Returns the epoch index.
+    pub fn ingest_missed_epoch(&self) -> usize {
+        let mut est = self.estimator.lock();
+        let epoch = est.ingest_missed_epoch();
+        self.publish(&mut est);
+        epoch
+    }
+
+    fn publish(&self, est: &mut StreamingEstimator) {
+        let window = est.estimate_window();
+        let d = window.histogram.grid().d();
+        let snapshot = Arc::new(Snapshot {
+            epoch: est.epochs(),
+            pyramid: Pyramid::from_plane(window.histogram.values(), d),
+            estimate: window.histogram,
+            em_iters: window.em_iters,
+            warm: window.warm,
+            health: window.health,
+        });
+        *self.latest.write() = snapshot;
+    }
+
+    /// The latest published snapshot (cheap: clones an `Arc` under a
+    /// read lock). All queries below are shorthands over this.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.latest.read())
+    }
+
+    /// Epoch of the latest published snapshot.
+    pub fn epoch(&self) -> usize {
+        self.snapshot().epoch
+    }
+
+    /// Point query: the estimated mass of cell `(ix, iy)`.
+    pub fn point(&self, ix: u32, iy: u32) -> f64 {
+        let snap = self.snapshot();
+        snap.pyramid.cell(ix, iy)
+    }
+
+    /// Range query: estimated mass of the inclusive cell rectangle,
+    /// answered by the snapshot pyramid's minimal node cover.
+    pub fn range(&self, x0: u32, y0: u32, x1: u32, y1: u32) -> f64 {
+        let snap = self.snapshot();
+        snap.pyramid.range_sum(x0, y0, x1, y1)
+    }
+
+    /// Heatmap query: the `side × side` aggregate plane (row-major) from
+    /// the snapshot pyramid, or `None` if `side` is not one of its
+    /// dyadic levels. Edge-clamped nodes of a non-power-of-two grid hold
+    /// their clamped mass (zero past the edge).
+    pub fn heatmap(&self, side: u32) -> Option<Vec<f64>> {
+        let snap = self.snapshot();
+        snap.pyramid.level_for_side(side).map(|lv| lv.values().to_vec())
+    }
+
+    /// Pipeline health of the latest snapshot.
+    pub fn health(&self) -> PipelineHealth {
+        self.snapshot().health
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::StreamConfig;
+    use dam_core::DamConfig;
+    use dam_geo::BoundingBox;
+
+    fn service(d: u32) -> QueryService {
+        let grid = Grid2D::new(BoundingBox::unit(), d);
+        QueryService::new(grid, StreamConfig::new(DamConfig::dam(2.0), 3, 99))
+    }
+
+    #[test]
+    fn initial_snapshot_is_uniform_epoch_zero() {
+        let svc = service(6);
+        assert_eq!(svc.epoch(), 0);
+        assert!((svc.range(0, 0, 5, 5) - 1.0).abs() < 1e-9);
+        assert!((svc.point(2, 3) - 1.0 / 36.0).abs() < 1e-12);
+        assert!(svc.health().is_clean());
+    }
+
+    #[test]
+    fn ingest_publishes_new_epochs_and_heatmaps() {
+        let svc = service(8);
+        let pts: Vec<Point> =
+            (0..2000).map(|i| Point::new(0.1 + (i % 7) as f64 * 0.01, 0.2)).collect();
+        assert_eq!(svc.ingest_epoch(&pts), 0); // first epoch index
+        assert_eq!(svc.epoch(), 1);
+        assert_eq!(svc.snapshot().health.ingest.seen, 2000);
+        let snap = svc.snapshot();
+        assert!((snap.pyramid.range_sum(0, 0, 7, 7) - 1.0).abs() < 1e-9);
+        // Heatmaps at every dyadic side; total mass preserved.
+        for side in [1u32, 2, 4, 8] {
+            let hm = svc.heatmap(side).expect("dyadic level");
+            assert_eq!(hm.len(), (side * side) as usize);
+            assert!((hm.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        assert!(svc.heatmap(3).is_none());
+        // Missed epochs still publish.
+        svc.ingest_missed_epoch();
+        assert_eq!(svc.epoch(), 2);
+    }
+}

@@ -1,0 +1,70 @@
+//! The deterministic shard→node ownership function.
+//!
+//! A multi-node deployment partitions each epoch's reports across K
+//! aggregators. The partition here is **shard-aligned**: ownership is
+//! decided per 16Ki-report shard (`dam_core::shard::SHARD_SIZE`), not
+//! per report, because the sharded report pipeline keys its RNG streams
+//! by *global* shard index. A node running only its owned shards
+//! therefore draws exactly the randomness the single-node run would
+//! hand those shards — and since whole-number count planes add exactly
+//! in `f64`, the K node planes merge (in any order) to the bit-identical
+//! single-node plane. Per-*report* partitions would break that: each
+//! node's shard RNG would advance differently and the union would no
+//! longer reproduce the reference stream.
+//!
+//! Ownership is a pure SplitMix64 draw keyed
+//! `(partition seed, epoch, shard)`: every node computes its share of
+//! every epoch locally, with no coordination and no state to replay.
+
+use dam_geo::rng::splitmix64;
+
+/// Salt separating shard-ownership draws from every other derived stream
+/// in the workspace.
+const SALT_OWNER: u64 = 0x0DE5_7A7E_D00D_0001;
+
+/// The node (in `0..nodes`) owning global report shard `shard` of epoch
+/// `epoch` under `partition_seed`. Pure and coordination-free.
+pub fn shard_owner(partition_seed: u64, epoch: usize, shard: usize, nodes: usize) -> usize {
+    debug_assert!(nodes > 0, "a cluster has at least one node");
+    if nodes == 1 {
+        return 0;
+    }
+    let z = splitmix64(
+        partition_seed ^ splitmix64(epoch as u64 ^ splitmix64(shard as u64 ^ SALT_OWNER)),
+    );
+    (z % nodes as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ownership_is_a_pure_function_and_covers_every_node() {
+        let nodes = 7;
+        let mut seen = vec![0usize; nodes];
+        for epoch in 0..4 {
+            for shard in 0..256 {
+                let a = shard_owner(42, epoch, shard, nodes);
+                assert_eq!(a, shard_owner(42, epoch, shard, nodes));
+                assert!(a < nodes);
+                seen[a] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c > 0), "owners {seen:?}: some node owns nothing");
+    }
+
+    #[test]
+    fn partitions_differ_across_epochs_and_seeds() {
+        let by_epoch: Vec<usize> = (0..64).map(|s| shard_owner(1, 0, s, 4)).collect();
+        let next_epoch: Vec<usize> = (0..64).map(|s| shard_owner(1, 1, s, 4)).collect();
+        let other_seed: Vec<usize> = (0..64).map(|s| shard_owner(2, 0, s, 4)).collect();
+        assert_ne!(by_epoch, next_epoch, "epochs must re-draw the partition");
+        assert_ne!(by_epoch, other_seed, "the seed must key the partition");
+    }
+
+    #[test]
+    fn single_node_owns_everything() {
+        assert!((0..100).all(|s| shard_owner(9, 3, s, 1) == 0));
+    }
+}

@@ -1,0 +1,107 @@
+//! Satellite: the mergeability property. K aggregator nodes, each
+//! ingesting only its shard partition of an epoch's batch, produce
+//! planes whose sum is **bit-identical** to the single-node union
+//! ingest of the same batch under the same master seed — for K ∈
+//! {1, 2, 4, 7} and thread counts {1, 4}, over randomized batches that
+//! include quarantined and clamped reports.
+//!
+//! This is the property the whole cluster design leans on: shard-aligned
+//! partitions draw exactly the randomness the single-node run hands the
+//! same shards, and whole-number planes add exactly in `f64`.
+
+use dam_cluster::AggregatorNode;
+use dam_core::validate::{IngestPolicy, IngestSummary};
+use dam_core::{DamClient, DamConfig};
+use dam_geo::rng::splitmix64;
+use dam_geo::{BoundingBox, Grid2D, Point};
+use proptest::prelude::*;
+
+/// A deterministic batch spanning several report shards, salted with a
+/// sprinkle of out-of-domain and non-finite coordinates so the
+/// validated-ingest accounting is part of the property too.
+fn batch(seed: u64, n: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let a = splitmix64(seed ^ i as u64);
+            let b = splitmix64(seed ^ (i as u64) << 1 ^ 0xB47C);
+            let x = a as f64 / u64::MAX as f64;
+            let y = b as f64 / u64::MAX as f64;
+            match a % 97 {
+                0 => Point::new(f64::NAN, y),      // quarantined
+                1 => Point::new(x + 2.0, y - 3.0), // clamped
+                _ => Point::new(x, y),
+            }
+        })
+        .collect()
+}
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn k_node_partitions_merge_bit_identically_to_union_ingest(
+        batch_seed in 0u64..1_000_000,
+        master_seed in 0u64..1_000_000,
+        partition_seed in 0u64..1_000_000,
+        epoch in 0usize..32,
+        extra in 0usize..9_000,
+    ) {
+        let n = 17_000 + extra; // always > SHARD_SIZE: several shards
+        let pts = batch(batch_seed, n);
+        let grid = Grid2D::new(BoundingBox::unit(), 8);
+
+        for threads in [1usize, 4] {
+            let dam = DamConfig::dam(2.5).with_threads(Some(threads));
+
+            // Single-node union reference.
+            let client = DamClient::new(grid.clone(), &dam);
+            let mut reference = Vec::new();
+            let ref_summary = client.report_batch_validated_in(
+                &pts,
+                master_seed,
+                Some(threads),
+                IngestPolicy::Clamp,
+                &mut reference,
+            );
+            let ref_bits = bits(&reference);
+
+            for k in [1usize, 2, 4, 7] {
+                let mut merged = vec![0.0; reference.len()];
+                let mut summary = IngestSummary::default();
+                for node in 0..k {
+                    let mut agg = AggregatorNode::new(
+                        grid.clone(),
+                        &dam,
+                        IngestPolicy::Clamp,
+                        node,
+                        k,
+                        partition_seed,
+                    );
+                    let plane = agg.ingest_epoch(epoch, master_seed, &pts);
+                    prop_assert_eq!(plane.node, node);
+                    prop_assert_eq!(plane.epoch, epoch);
+                    for (acc, v) in merged.iter_mut().zip(&plane.counts) {
+                        *acc += v;
+                    }
+                    summary.merge(&plane.summary);
+                }
+                prop_assert_eq!(
+                    &bits(&merged),
+                    &ref_bits,
+                    "K={} threads={}: merged planes != single-node union",
+                    k,
+                    threads
+                );
+                prop_assert_eq!(
+                    summary, ref_summary,
+                    "K={} threads={}: merged summaries != single-node summary",
+                    k, threads
+                );
+            }
+        }
+    }
+}

@@ -284,6 +284,80 @@ impl DamClient {
         scratch.truncate(n);
         summary
     }
+
+    /// [`DamClient::report_batch_validated_in`] restricted to the report
+    /// shards `owns` accepts — the per-node ingest of a multi-node
+    /// deployment.
+    ///
+    /// `owns` is called with the **global** shard index (the same
+    /// [`crate::shard::shard_range`] layout as the single-node batch), so
+    /// K aggregators running this over the same batch with *disjoint*
+    /// shard ownership produce count planes whose cell-wise sum is
+    /// **bit-identical** to the single-node
+    /// [`DamClient::report_batch_validated_in`] of the whole batch under
+    /// the same `master_seed`: every owned shard draws from exactly the
+    /// stream the single-node run would hand it, unowned shards consume
+    /// no randomness, and whole-number plane addition is exact in `f64`
+    /// regardless of merge order. That linearity is the mergeability
+    /// invariant distributed aggregation rests on (pinned by
+    /// `dam-cluster`'s proptests).
+    ///
+    /// The returned summary tallies only the owned shards' reports;
+    /// summaries from a disjoint node cover sum to the single-node one.
+    pub fn report_batch_validated_partition_in<O>(
+        &self,
+        points: &[Point],
+        master_seed: u64,
+        threads: Option<usize>,
+        policy: IngestPolicy,
+        owns: O,
+        scratch: &mut Vec<f64>,
+    ) -> IngestSummary
+    where
+        O: Fn(usize) -> bool + Sync,
+    {
+        let od = self.kernel().out_d() as usize;
+        let n = od * od;
+        let domain = covered_square(&self.grid);
+        sharded_accumulate_in(
+            points.len(),
+            n + 3,
+            master_seed,
+            threads,
+            scratch,
+            |range, rng, buf| {
+                if !owns(range.start / crate::shard::SHARD_SIZE) {
+                    return;
+                }
+                let (mut quarantined, mut clamped) = (0u64, 0u64);
+                buf[n] += range.len() as f64;
+                for (i, &p) in points[range.clone()].iter().enumerate() {
+                    let accepted = match check_point_in(&domain, policy, range.start + i, p) {
+                        PointCheck::Accept(q) => q,
+                        PointCheck::Clamped(q) => {
+                            clamped += 1;
+                            q
+                        }
+                        PointCheck::Quarantine(_) => {
+                            quarantined += 1;
+                            continue;
+                        }
+                    };
+                    let noisy = self.response.respond(self.grid.cell_of(accepted), rng);
+                    buf[noisy.iy as usize * od + noisy.ix as usize] += 1.0;
+                }
+                buf[n + 1] += quarantined as f64;
+                buf[n + 2] += clamped as f64;
+            },
+        );
+        let summary = IngestSummary {
+            seen: scratch[n] as u64,
+            quarantined: scratch[n + 1] as u64,
+            clamped: scratch[n + 2] as u64,
+        };
+        scratch.truncate(n);
+        summary
+    }
 }
 
 /// Analyst-side state: accumulates noisy cells and runs PostProcess

@@ -26,7 +26,12 @@
 //!   rate);
 //! * **non-finite injection** ([`FaultPlan::inject_nonfinite`]) —
 //!   `NaN`/`∞` values written into count planes, modelling a corrupted
-//!   aggregation substrate.
+//!   aggregation substrate;
+//! * **node faults** ([`NodeFaultPlan`]) — the cluster-level family for
+//!   multi-node deployments (`dam-cluster`): aggregator crashes lasting
+//!   a configured number of epochs, delayed / duplicated / corrupted
+//!   plane deliveries, and coordinator kill points, every decision keyed
+//!   `(seed, family, node, epoch)`.
 //!
 //! Plans round-trip through a compact text spec
 //! ([`FaultPlan::parse`] / [`FaultPlan::spec`]) so a chaos run is fully
@@ -38,6 +43,8 @@
 //! thread-count determinism, finiteness, and the bounded accuracy gap at
 //! low corruption rates.
 
+pub mod node;
 pub mod plan;
 
+pub use node::NodeFaultPlan;
 pub use plan::{EpochFate, FaultPlan, PlanParseError};

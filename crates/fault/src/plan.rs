@@ -25,17 +25,109 @@ pub enum EpochFate {
     Delay,
 }
 
-/// Error from [`FaultPlan::parse`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct PlanParseError(pub String);
+/// Error from [`FaultPlan::parse`] (and the node-fault
+/// [`crate::NodeFaultPlan::parse`]): *which* part of the spec is wrong,
+/// structurally, so a typo like `crrupt=0.01` surfaces as
+/// [`PlanParseError::UnknownKey`] naming the bad key rather than running
+/// a clean experiment that merely *looks* faulty-but-lucky.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanParseError {
+    /// A comma-separated part of the spec had no `=`.
+    NotKeyValue {
+        /// The offending part, verbatim.
+        part: String,
+    },
+    /// The key names no fault knob of this plan.
+    UnknownKey {
+        /// The unrecognised key, verbatim.
+        key: String,
+        /// Every key the plan accepts.
+        known: &'static [&'static str],
+    },
+    /// The value does not parse as the key's type.
+    BadValue {
+        /// The key whose value failed.
+        key: String,
+        /// The unparsable value, verbatim.
+        value: String,
+        /// What the key expects (`"a number"`, `"a seed"`, ...).
+        expected: &'static str,
+    },
+    /// A probability knob outside `[0, 1]`.
+    RateOutOfRange {
+        /// The key whose rate is out of range.
+        key: String,
+        /// The parsed (finite) rate.
+        value: f64,
+    },
+    /// Individually-valid knobs that contradict each other.
+    Inconsistent {
+        /// Human-readable description of the contradiction.
+        detail: String,
+    },
+}
 
 impl std::fmt::Display for PlanParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "bad fault plan: {}", self.0)
+        write!(f, "bad fault plan: ")?;
+        match self {
+            PlanParseError::NotKeyValue { part } => write!(f, "`{part}` is not key=value"),
+            PlanParseError::UnknownKey { key, known } => {
+                write!(f, "unknown key `{key}`; known: {}", known.join(" "))
+            }
+            PlanParseError::BadValue { key, value, expected } => {
+                write!(f, "`{value}` is not {expected} ({key})")
+            }
+            PlanParseError::RateOutOfRange { key, value } => {
+                write!(f, "{key}={value} outside [0, 1]")
+            }
+            PlanParseError::Inconsistent { detail } => f.write_str(detail),
+        }
     }
 }
 
 impl std::error::Error for PlanParseError {}
+
+/// Parses one probability knob, structurally attributing failures to
+/// `key`. Shared by every plan parser in the crate.
+pub(crate) fn parse_rate(key: &str, value: &str) -> Result<f64, PlanParseError> {
+    let v: f64 = value.parse().map_err(|_| PlanParseError::BadValue {
+        key: key.to_string(),
+        value: value.to_string(),
+        expected: "a number",
+    })?;
+    if !(0.0..=1.0).contains(&v) {
+        return Err(PlanParseError::RateOutOfRange { key: key.to_string(), value: v });
+    }
+    Ok(v)
+}
+
+/// Parses one `u64` seed knob.
+pub(crate) fn parse_seed(key: &str, value: &str) -> Result<u64, PlanParseError> {
+    value.parse().map_err(|_| PlanParseError::BadValue {
+        key: key.to_string(),
+        value: value.to_string(),
+        expected: "a seed",
+    })
+}
+
+/// Parses one non-negative integer knob (epoch counts, tick bounds).
+pub(crate) fn parse_count(key: &str, value: &str) -> Result<usize, PlanParseError> {
+    value.parse().map_err(|_| PlanParseError::BadValue {
+        key: key.to_string(),
+        value: value.to_string(),
+        expected: "a count",
+    })
+}
+
+/// One uniform draw in `[0, 1)` from the stream keyed by
+/// `(seed, family, a, b)`. Pure — the same key always yields the same
+/// draw, independent of call order and thread count. Every fault family
+/// in the crate draws through this.
+pub(crate) fn unit_draw(seed: u64, family: u64, a: u64, b: u64) -> f64 {
+    let z = splitmix64(seed ^ splitmix64(family ^ splitmix64(a ^ splitmix64(b))));
+    (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
 
 /// A chaos scenario: per-family fault rates plus the master seed keying
 /// every decision stream.
@@ -79,50 +171,45 @@ impl FaultPlan {
             && self.nonfinite == 0.0
     }
 
+    /// Every key [`FaultPlan::parse`] accepts.
+    pub const KEYS: &'static [&'static str] =
+        &["seed", "corrupt", "drop", "delay", "flip", "nonfinite"];
+
     /// Parses a comma-separated `key=value` spec, e.g.
     /// `seed=7,corrupt=0.01,drop=0.1,delay=0.05,flip=0.02,nonfinite=0.001`.
     /// Unknown keys, unparsable values, and rates outside `[0, 1]` (or
-    /// `drop + delay > 1`) are errors; omitted keys default to `seed=0`
-    /// and rate `0`.
+    /// `drop + delay > 1`) are structured [`PlanParseError`]s naming the
+    /// offending key; omitted keys default to `seed=0` and rate `0`.
     pub fn parse(spec: &str) -> Result<Self, PlanParseError> {
         let mut plan = Self::clean(0);
         for part in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
             let (key, value) = part
                 .split_once('=')
-                .ok_or_else(|| PlanParseError(format!("`{part}` is not key=value")))?;
+                .ok_or_else(|| PlanParseError::NotKeyValue { part: part.to_string() })?;
+            let key = key.trim();
             let rate = |slot: &mut f64| -> Result<(), PlanParseError> {
-                let v: f64 = value
-                    .parse()
-                    .map_err(|_| PlanParseError(format!("`{value}` is not a number ({key})")))?;
-                if !(0.0..=1.0).contains(&v) {
-                    return Err(PlanParseError(format!("{key}={v} outside [0, 1]")));
-                }
-                *slot = v;
+                *slot = parse_rate(key, value)?;
                 Ok(())
             };
-            match key.trim() {
-                "seed" => {
-                    plan.seed = value
-                        .parse()
-                        .map_err(|_| PlanParseError(format!("`{value}` is not a seed")))?;
-                }
+            match key {
+                "seed" => plan.seed = parse_seed(key, value)?,
                 "corrupt" => rate(&mut plan.corrupt)?,
                 "drop" => rate(&mut plan.drop)?,
                 "delay" => rate(&mut plan.delay)?,
                 "flip" => rate(&mut plan.flip)?,
                 "nonfinite" => rate(&mut plan.nonfinite)?,
                 other => {
-                    return Err(PlanParseError(format!(
-                        "unknown key `{other}`; known: seed corrupt drop delay flip nonfinite"
-                    )))
+                    return Err(PlanParseError::UnknownKey {
+                        key: other.to_string(),
+                        known: Self::KEYS,
+                    })
                 }
             }
         }
         if plan.drop + plan.delay > 1.0 {
-            return Err(PlanParseError(format!(
-                "drop={} + delay={} exceeds 1",
-                plan.drop, plan.delay
-            )));
+            return Err(PlanParseError::Inconsistent {
+                detail: format!("drop={} + delay={} exceeds 1", plan.drop, plan.delay),
+            });
         }
         Ok(plan)
     }
@@ -149,8 +236,7 @@ impl FaultPlan {
     /// `(seed, family, a, b)`. Pure — the same key always yields the same
     /// draw, independent of call order and thread count.
     fn unit(&self, family: u64, a: u64, b: u64) -> f64 {
-        let z = splitmix64(self.seed ^ splitmix64(family ^ splitmix64(a ^ splitmix64(b))));
-        (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        unit_draw(self.seed, family, a, b)
     }
 
     /// The fate of epoch `epoch`'s report batch.
@@ -334,6 +420,40 @@ mod tests {
         {
             assert!(FaultPlan::parse(bad).is_err(), "{bad} should not parse");
         }
+    }
+
+    #[test]
+    fn parse_errors_are_structured_and_name_the_bad_key() {
+        // The typo scenario the structured error exists for: `crrupt`
+        // must come back as an UnknownKey naming itself, never as a
+        // silently-clean plan.
+        assert_eq!(
+            FaultPlan::parse("seed=7,crrupt=0.01"),
+            Err(PlanParseError::UnknownKey { key: "crrupt".into(), known: FaultPlan::KEYS })
+        );
+        assert_eq!(
+            FaultPlan::parse("corrupt"),
+            Err(PlanParseError::NotKeyValue { part: "corrupt".into() })
+        );
+        assert_eq!(
+            FaultPlan::parse("corrupt=x"),
+            Err(PlanParseError::BadValue {
+                key: "corrupt".into(),
+                value: "x".into(),
+                expected: "a number"
+            })
+        );
+        assert_eq!(
+            FaultPlan::parse("corrupt=1.5"),
+            Err(PlanParseError::RateOutOfRange { key: "corrupt".into(), value: 1.5 })
+        );
+        assert!(matches!(
+            FaultPlan::parse("drop=0.6,delay=0.6"),
+            Err(PlanParseError::Inconsistent { .. })
+        ));
+        // Display still names the key for human eyes.
+        let msg = FaultPlan::parse("seed=7,crrupt=0.01").unwrap_err().to_string();
+        assert!(msg.contains("crrupt") && msg.contains("unknown key"), "{msg}");
     }
 
     #[test]

@@ -284,6 +284,35 @@ impl StreamingEstimator {
         epoch
     }
 
+    /// Ingests one epoch's **already-aggregated** count plane — the
+    /// multi-node entry point, where K aggregators randomized their own
+    /// report partitions and a coordinator merged (and possibly rescaled)
+    /// the planes. The plane runs the same retention path as
+    /// [`StreamingEstimator::ingest_epoch`]'s locally-aggregated counts:
+    /// sanitize, slide the window, append to the tree. `summary` is the
+    /// merged validated-ingest accounting of the nodes that contributed
+    /// (disjoint node covers sum to the single-node summary), and its
+    /// `seen` advances the report counter. Returns the epoch index just
+    /// ingested.
+    pub fn ingest_epoch_plane(
+        &mut self,
+        plane: &[f64],
+        summary: &dam_core::validate::IngestSummary,
+    ) -> usize {
+        assert_eq!(plane.len(), self.client.kernel().n_out(), "plane does not match pipeline");
+        self.scratch.clear();
+        self.scratch.extend_from_slice(plane);
+        self.health.ingest.merge(summary);
+        self.health.sanitized_cells += sanitize_counts(&mut self.scratch);
+        self.ring.push(&self.scratch);
+        self.tree.append(&self.scratch);
+        self.reports += summary.seen;
+        self.health.epochs_ingested += 1;
+        let epoch = self.epochs;
+        self.epochs += 1;
+        epoch
+    }
+
     /// Records an epoch the collector never delivered (outage, dropped
     /// batch): a zero plane holds its place so the window keeps sliding
     /// and later epochs stay time-aligned, and
@@ -346,6 +375,50 @@ impl StreamingEstimator {
     /// runs cold) — e.g. after a known distribution break.
     pub fn reset_warm_state(&mut self) {
         self.prev = None;
+    }
+
+    /// The previous window's raw estimate — the seed the next
+    /// [`Self::estimate_window`] warm-starts from, exposed so a
+    /// checkpointing coordinator can persist the warm chain.
+    #[inline]
+    pub fn warm_state(&self) -> Option<&[f64]> {
+        self.prev.as_deref()
+    }
+
+    /// Mutable running health — the multi-node coordinator's seam for
+    /// the counters only it can know (`nodes_missed`, window coverage).
+    #[inline]
+    pub fn health_mut(&mut self) -> &mut PipelineHealth {
+        &mut self.health
+    }
+
+    /// Rebuilds a **fresh** estimator's retained state from a
+    /// checkpoint: re-ingests `planes` (epoch order, raw — no health
+    /// accounting, those counters arrive wholesale in `health`), then
+    /// installs the persisted health record, report counter, and
+    /// warm-start seed. Ring and tree rebuild through the same exact
+    /// integer arithmetic that built them originally, so every
+    /// subsequent window estimate is bit-identical to the uncrashed
+    /// run's.
+    ///
+    /// Panics if this estimator has already ingested epochs — restore
+    /// targets a newly-constructed pipeline with the same config.
+    pub fn restore(
+        &mut self,
+        planes: &[Vec<f64>],
+        reports: u64,
+        health: PipelineHealth,
+        warm: Option<Vec<f64>>,
+    ) {
+        assert_eq!(self.epochs, 0, "restore targets a fresh estimator");
+        for plane in planes {
+            self.ring.push(plane);
+            self.tree.append(plane);
+        }
+        self.epochs = planes.len();
+        self.reports = reports;
+        self.health = health;
+        self.prev = warm;
     }
 
     fn run_em(&mut self, init: Option<&[f64]>) -> WindowEstimate {

@@ -80,8 +80,17 @@ pub struct PipelineHealth {
     /// Times the FFT backend diverged and PostProcess was redone on the
     /// exact stencil operator.
     pub backend_fallbacks: usize,
+    /// Multi-node deployments: per-epoch node planes that never arrived
+    /// before the coordinator's quorum close (summed over epochs — two
+    /// nodes missing the same epoch count twice). The closed epoch's mass
+    /// is rescaled by inverse coverage, so the estimate stays a
+    /// distribution, but the evidence behind it is thinner than the
+    /// node count suggests.
+    pub nodes_missed: usize,
     /// The most recent estimate covered fewer epochs than the configured
-    /// window (stream younger than the window length).
+    /// window (stream younger than the window length), **or** — in a
+    /// multi-node deployment — at least one epoch in the window closed
+    /// below full node coverage.
     pub partial_window: bool,
 }
 
@@ -96,14 +105,19 @@ impl PipelineHealth {
             && self.em_reseeds == 0
             && self.degenerate_windows == 0
             && self.backend_fallbacks == 0
+            && self.nodes_missed == 0
             && !self.partial_window
     }
 
-    /// One-line operator summary (the `fig_stream --inject` footer).
+    /// One-line operator summary (the `fig_stream --inject` /
+    /// `fig_cluster` footer). Every counter appears, zero or not —
+    /// including `backend_fallbacks` and `nodes_missed` — so the line's
+    /// shape is stable for log scrapers; the exact format is pinned by a
+    /// unit test.
     pub fn summary(&self) -> String {
         format!(
             "seen {} quarantined {} clamped {} | epochs {}+{} missed | sanitized {} | \
-             em reseeds {} degenerate {} fallbacks {}{}",
+             em reseeds {} degenerate {} fallbacks {} | nodes missed {}{}",
             self.ingest.seen,
             self.ingest.quarantined,
             self.ingest.clamped,
@@ -113,6 +127,7 @@ impl PipelineHealth {
             self.em_reseeds,
             self.degenerate_windows,
             self.backend_fallbacks,
+            self.nodes_missed,
             if self.partial_window { " | partial window" } else { "" },
         )
     }
@@ -141,6 +156,7 @@ mod tests {
             PipelineHealth { em_reseeds: 1, ..PipelineHealth::default() },
             PipelineHealth { degenerate_windows: 1, ..PipelineHealth::default() },
             PipelineHealth { backend_fallbacks: 1, ..PipelineHealth::default() },
+            PipelineHealth { nodes_missed: 1, ..PipelineHealth::default() },
             PipelineHealth { partial_window: true, ..PipelineHealth::default() },
         ] {
             assert!(!h.is_clean(), "{h:?}");
@@ -152,6 +168,36 @@ mod tests {
             ..PipelineHealth::default()
         };
         assert!(busy.is_clean());
+    }
+
+    #[test]
+    fn summary_format_is_pinned() {
+        // The full operator line, every counter populated — log scrapers
+        // parse this shape, so changing it is a breaking change and must
+        // show up here. `fallbacks` in particular is nonzero: it used to
+        // be easy to drop without any test noticing.
+        let h = PipelineHealth {
+            ingest: IngestSummary { seen: 120, quarantined: 4, clamped: 2 },
+            epochs_ingested: 9,
+            epochs_missed: 1,
+            sanitized_cells: 3,
+            em_reseeds: 2,
+            degenerate_windows: 1,
+            backend_fallbacks: 5,
+            nodes_missed: 6,
+            partial_window: true,
+        };
+        assert_eq!(
+            h.summary(),
+            "seen 120 quarantined 4 clamped 2 | epochs 9+1 missed | sanitized 3 | \
+             em reseeds 2 degenerate 1 fallbacks 5 | nodes missed 6 | partial window"
+        );
+        // And the healthy line, for contrast (no trailing flag).
+        assert_eq!(
+            PipelineHealth::default().summary(),
+            "seen 0 quarantined 0 clamped 0 | epochs 0+0 missed | sanitized 0 | \
+             em reseeds 0 degenerate 0 fallbacks 0 | nodes missed 0"
+        );
     }
 
     #[test]

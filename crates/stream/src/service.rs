@@ -96,6 +96,21 @@ impl QueryService {
         epoch
     }
 
+    /// Ingests one epoch's already-merged count plane (the multi-node
+    /// coordinator's feed — see
+    /// [`StreamingEstimator::ingest_epoch_plane`]), re-estimates, and
+    /// publishes the snapshot. Returns the epoch index just ingested.
+    pub fn ingest_epoch_plane(
+        &self,
+        plane: &[f64],
+        summary: &dam_core::validate::IngestSummary,
+    ) -> usize {
+        let mut est = self.estimator.lock();
+        let epoch = est.ingest_epoch_plane(plane, summary);
+        self.publish(&mut est);
+        epoch
+    }
+
     /// Advances the stream over an epoch with no reports (upstream
     /// outage): the window slides, the estimate degrades gracefully, and
     /// a fresh snapshot is still published. Returns the epoch index.

@@ -116,6 +116,16 @@ impl CountTree {
         self.n_cells >= PARALLEL_WORK_THRESHOLD
     }
 
+    /// Epoch `t`'s retained count plane (a level-0 leaf), or `None` past
+    /// the stream head. Checkpoint writers read the leaves directly —
+    /// re-appending them into a fresh tree reproduces every dyadic
+    /// parent bit-for-bit (whole-number plane sums are exact and the
+    /// merge order is a pure function of the epoch index).
+    #[inline]
+    pub fn epoch_plane(&self, t: usize) -> Option<&[f64]> {
+        self.levels.first().and_then(|leaves| leaves.get(t)).map(Vec::as_slice)
+    }
+
     /// Ingests epoch `len()`'s count plane, closing every dyadic node the
     /// new epoch completes (amortised one merge per epoch).
     pub fn append(&mut self, plane: &[f64]) {

@@ -21,6 +21,8 @@
 
 /// Baseline mechanisms (MDSW, SEM-Geo-I, CFO).
 pub use dam_baselines as baselines;
+/// Fault-tolerant multi-node aggregation (quorum close, checkpoints).
+pub use dam_cluster as cluster;
 /// The paper's mechanisms (SAM, DAM, HUEM) and pipeline.
 pub use dam_core as core;
 /// Dataset generators and region handling.

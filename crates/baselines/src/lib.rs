@@ -17,6 +17,8 @@
 //! * [`cfo`] — the classical categorical frequency oracle on grid cells
 //!   (Bucket+CFO of Table I), in GRR and OUE flavours.
 
+#![forbid(unsafe_code)]
+
 pub mod cfo;
 pub mod mdsw;
 pub mod sem;

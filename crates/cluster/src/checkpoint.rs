@@ -203,10 +203,12 @@ impl<'a> Reader<'a> {
     }
 
     fn u32(&mut self, context: &'static str) -> Result<u32, CheckpointError> {
+        // lint: allow(no-panic-in-lib, bytes(4) returned exactly 4 bytes or errored above)
         Ok(u32::from_le_bytes(self.bytes(4, context)?.try_into().unwrap()))
     }
 
     fn u64(&mut self, context: &'static str) -> Result<u64, CheckpointError> {
+        // lint: allow(no-panic-in-lib, bytes(8) returned exactly 8 bytes or errored above)
         Ok(u64::from_le_bytes(self.bytes(8, context)?.try_into().unwrap()))
     }
 
@@ -297,6 +299,7 @@ impl CheckpointState {
             return Err(CheckpointError::BadMagic { kind: "checkpoint" });
         }
         let payload = &bytes[..bytes.len() - 8];
+        // lint: allow(no-panic-in-lib, the length guard above ensures at least 20 bytes, so the 8-byte tail exists)
         let recorded = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
         if fnv1a(payload) != recorded {
             return Err(CheckpointError::ChecksumMismatch { kind: "checkpoint" });

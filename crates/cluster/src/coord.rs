@@ -464,6 +464,7 @@ impl Coordinator {
     fn state_snapshot(&self, last: &WindowEstimate) -> CheckpointState {
         let epochs = self.est.epochs();
         let planes = (0..epochs)
+            // lint: allow(no-panic-in-lib, t ranges over epochs() which the tree retains by construction)
             .map(|t| self.est.tree().epoch_plane(t).expect("retained epoch").to_vec())
             .collect();
         CheckpointState {

@@ -44,6 +44,8 @@
 //! `BENCH_cluster.json` (merge throughput vs K, checkpoint write/restore
 //! cost).
 
+#![forbid(unsafe_code)]
+
 pub mod checkpoint;
 pub mod coord;
 pub mod node;

@@ -154,7 +154,7 @@ mod tests {
 
     #[test]
     fn sequence_ids_are_unique_per_node_epoch() {
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for node in 0..16 {
             for epoch in 0..64 {
                 assert!(seen.insert(NodePlane::sequence_id(node, epoch)));

@@ -46,6 +46,8 @@
 //!   ([`estimator::DamClient`] / [`estimator::DamAggregator`]) mirroring
 //!   the FO = ⟨T, E⟩ protocol.
 
+#![forbid(unsafe_code)]
+
 pub mod conv;
 pub mod em2d;
 pub mod estimator;

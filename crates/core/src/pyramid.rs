@@ -145,10 +145,12 @@ impl Pyramid {
                 leaf.values[(ny * leaf_side + nx) as usize] = acc;
             }
         }
-        levels.push(leaf);
-        // Parents: each node the sum of its four children.
-        while levels.last().unwrap().side > 1 {
-            let child = levels.last().unwrap();
+        // Parents: each node the sum of its four children. `top` is the
+        // finest level built so far, so the loop needs no `last()`
+        // lookups (and no unwraps) on the growing vector.
+        let mut top = leaf;
+        while top.side > 1 {
+            let child = &top;
             let side = child.side / 2;
             let mut values = vec![0.0; (side as usize) * (side as usize)];
             for ny in 0..side {
@@ -163,8 +165,10 @@ impl Pyramid {
                     values[(ny * side + nx) as usize] = acc;
                 }
             }
-            levels.push(PyramidLevel { side, per: child.per * 2, values });
+            let parent = PyramidLevel { side, per: child.per * 2, values };
+            levels.push(std::mem::replace(&mut top, parent));
         }
+        levels.push(top);
         levels.reverse();
         Self { d, levels }
     }

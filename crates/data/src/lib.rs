@@ -15,6 +15,8 @@
 //! * [`catalog`] — the five named datasets with the paper's exact point
 //!   counts and Part A/B/C extents (Table III).
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod city;
 pub mod synthetic;

@@ -25,6 +25,8 @@
 //! output directory; `EXPERIMENTS.md` records the paper-vs-measured
 //! comparison for every row.
 
+#![forbid(unsafe_code)]
+
 pub mod cli;
 pub mod context;
 pub mod mechspec;

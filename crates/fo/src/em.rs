@@ -40,6 +40,11 @@
 #[derive(Debug, Default)]
 pub struct EmWorkspace {
     planes: Vec<Vec<f64>>,
+    /// Plane handoffs the NaN canary found non-finite values in
+    /// (debug builds; stays 0 in release).
+    tainted_handoffs: usize,
+    /// Stage label of the first tainted handoff.
+    first_taint: Option<&'static str>,
 }
 
 impl EmWorkspace {
@@ -62,7 +67,36 @@ impl EmWorkspace {
             plane.resize(len, 0.0);
         }
         let mut it = head.iter_mut();
+        // lint: allow(no-panic-in-lib, head has exactly N elements, so N next() calls all succeed)
         std::array::from_fn(|_| it.next().expect("plane count matches N"))
+    }
+
+    /// Debug-gated NaN canary on a plane handoff between EM stages.
+    ///
+    /// Scans `buf` for non-finite values (debug builds only; free in
+    /// release) and *records* taint — count plus the first offending
+    /// stage label — without panicking, because a hostile channel
+    /// producing NaN is a supported input: the EM loop's divergence
+    /// guard reseeds and the run stays finite. The canary complements
+    /// that guard by naming the stage the corruption *entered* at
+    /// (`apply` vs `adjoint`), which the guard's post-hoc check cannot.
+    pub fn audit_handoff(&mut self, stage: &'static str, buf: &[f64]) {
+        if cfg!(debug_assertions) && buf.iter().any(|x| !x.is_finite()) {
+            self.tainted_handoffs += 1;
+            if self.first_taint.is_none() {
+                self.first_taint = Some(stage);
+            }
+        }
+    }
+
+    /// How many handoffs the canary found tainted (0 in release builds).
+    pub fn tainted_handoffs(&self) -> usize {
+        self.tainted_handoffs
+    }
+
+    /// Stage label of the first tainted handoff, if any.
+    pub fn first_taint(&self) -> Option<&'static str> {
+        self.first_taint
     }
 }
 
@@ -411,6 +445,7 @@ pub fn expectation_maximization_warm<C: ChannelOp + ?Sized>(
         iters += 1;
         // E: predicted output distribution under the current estimate.
         channel.apply(&f, &mut out, ws);
+        ws.audit_handoff("apply", &out);
         // Observed-data log-likelihood of the current estimate (also the
         // divergence sentinel: a corrupted `out` turns it NaN).
         let mut ll = 0.0;
@@ -424,6 +459,7 @@ pub fn expectation_maximization_warm<C: ChannelOp + ?Sized>(
             *w = if c == 0.0 || p <= 0.0 { 0.0 } else { c / n_total / p };
         }
         channel.accumulate_adjoint(&weights, &f, &mut f_new, ws);
+        ws.audit_handoff("adjoint", &f_new);
 
         // Divergence guard — checked *before* normalisation, whose
         // zero-sum fallback would otherwise flatten a NaN update to
@@ -842,17 +878,35 @@ mod tests {
         }
         let hostile = Hostile { inner: noisy_channel(4, 0.7), calls: std::cell::Cell::new(0) };
         let counts = [40.0, 30.0, 20.0, 10.0];
+        let mut ws = EmWorkspace::new();
         let run = expectation_maximization_warm(
             &hostile,
             &counts,
             None,
             None,
             EmParams { max_iters: 20, rel_tol: 1e-9, gain_tol: 0.0 },
-            &mut EmWorkspace::new(),
+            &mut ws,
         );
         assert!(run.health.reseeds >= 1, "divergence must be recorded");
         assert!(run.estimate.iter().all(|x| x.is_finite() && *x >= 0.0));
         assert!((run.estimate.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        // The NaN canary names the stage the corruption entered at —
+        // without aborting the (supported, recoverable) hostile run.
+        if cfg!(debug_assertions) {
+            assert!(ws.tainted_handoffs() >= 1, "canary must record the tainted handoff");
+            assert_eq!(ws.first_taint(), Some("adjoint"));
+        }
+    }
+
+    #[test]
+    fn clean_runs_leave_the_canary_silent() {
+        let ch = noisy_channel(4, 0.6);
+        let counts = [40.0, 30.0, 20.0, 10.0];
+        let mut ws = EmWorkspace::new();
+        let _ =
+            expectation_maximization_warm(&ch, &counts, None, None, EmParams::default(), &mut ws);
+        assert_eq!(ws.tainted_handoffs(), 0);
+        assert_eq!(ws.first_taint(), None);
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! * [`sr`] — Stochastic Rounding (Duchi et al. \[4\], mean estimation);
 //! * [`pm`] — the Piecewise Mechanism (Wang et al. \[5\], mean estimation).
 
+#![forbid(unsafe_code)]
+
 pub mod alias;
 pub mod em;
 pub mod grr;

@@ -15,6 +15,8 @@
 //! The paper this workspace reproduces is "Numerical Estimation of Spatial
 //! Distributions under Differential Privacy" (ICDE 2025).
 
+#![forbid(unsafe_code)]
+
 pub mod bbox;
 pub mod circle;
 pub mod grid;

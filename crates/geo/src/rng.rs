@@ -34,7 +34,22 @@ const SHARD_SALT: u64 = 0x5AAD_ED5A_11CE_D001;
 /// the stream depends only on `(master, shard)`, a sharded computation is
 /// bit-identical no matter how many threads execute it.
 pub fn shard_rng(master: u64, shard: u64) -> StdRng {
-    StdRng::seed_from_u64(splitmix64(master ^ splitmix64(shard ^ SHARD_SALT)))
+    keyed(master, SHARD_SALT, shard)
+}
+
+/// Derives the RNG stream for item `id` of the domain identified by
+/// `salt`, under the run's `master` seed.
+///
+/// This is the one keyed-stream constructor every crate outside `dam-geo`
+/// must go through (the `no-entropy-rng` lint enforces it): a domain
+/// picks a unique salt constant, and `(master, salt, id)` then names a
+/// replayable stream. [`shard_rng`] is `keyed(master, SHARD_SALT, shard)`;
+/// `dam-stream`'s per-node noise streams are
+/// `keyed(noise_seed, NODE_NOISE_SALT, node_id)`. The seed derivation is
+/// the same double-SplitMix64 pattern as [`derived`], so the bit pattern
+/// of existing streams is unchanged.
+pub fn keyed(master: u64, salt: u64, id: u64) -> StdRng {
+    StdRng::seed_from_u64(splitmix64(master ^ splitmix64(id ^ salt)))
 }
 
 /// One round of the SplitMix64 output function.

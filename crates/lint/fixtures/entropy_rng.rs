@@ -1,0 +1,13 @@
+//! no-entropy-rng fixture: entropy sources flagged everywhere, ad-hoc
+//! seeded construction flagged outside dam-geo.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub fn adhoc(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+pub fn entropy() -> StdRng {
+    StdRng::from_entropy()
+}

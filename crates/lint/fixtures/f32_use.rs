@@ -1,0 +1,8 @@
+//! no-f32 fixture: the type and the literal suffix are both flagged in
+//! numeric-kernel crates (and legal elsewhere).
+
+pub fn lossy(x: f64) -> f64 {
+    let y = x as f32;
+    let z = 0.5f32;
+    (y as f64) + (z as f64)
+}

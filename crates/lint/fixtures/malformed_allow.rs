@@ -1,0 +1,22 @@
+//! malformed-allow fixture: each defective escape hatch is itself a
+//! finding, and the site it failed to cover stays unallowed.
+
+pub fn missing_reason() -> u64 {
+    // lint: allow(no-panic-in-lib)
+    Some(1u64).unwrap()
+}
+
+pub fn unknown_rule() -> u64 {
+    // lint: allow(no-unwraps, not a rule name)
+    Some(2u64).unwrap()
+}
+
+pub fn broken_syntax() -> u64 {
+    // lint: allow no-panic-in-lib, missing parens
+    Some(3u64).unwrap()
+}
+
+pub fn empty_reason() -> u64 {
+    // lint: allow(no-panic-in-lib,   )
+    Some(4u64).unwrap()
+}

@@ -1,0 +1,3 @@
+//! forbid-unsafe fixture: a crate root missing `#![forbid(unsafe_code)]`.
+
+pub fn noop() {}

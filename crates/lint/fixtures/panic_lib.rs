@@ -1,0 +1,31 @@
+//! no-panic-in-lib fixture: bare panics flagged, annotated sites
+//! allowed, test panics legal.
+
+pub fn first(v: &[u64]) -> u64 {
+    v.first().copied().unwrap()
+}
+
+pub fn must(v: &[u64]) -> u64 {
+    // lint: allow(no-panic-in-lib, fixture demonstrates a covered site)
+    v.first().copied().expect("non-empty")
+}
+
+pub fn trailing(v: &[u64]) -> u64 {
+    v[0] + v.last().copied().unwrap() // lint: allow(no-panic-in-lib, trailing form)
+}
+
+pub fn boom() {
+    panic!("fixture");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panics_in_tests_are_legal() {
+        assert_eq!(first(&[1]), 1);
+        let v: Vec<u64> = vec![7];
+        assert_eq!(v.first().copied().unwrap(), 7);
+    }
+}

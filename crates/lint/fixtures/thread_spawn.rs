@@ -1,0 +1,14 @@
+//! no-thread-spawn fixture: pool-bypassing primitives are flagged;
+//! reading the core count is not.
+
+pub fn fan_out() -> i32 {
+    let h = std::thread::spawn(|| 1 + 1);
+    std::thread::scope(|_s| {});
+    let _b = std::thread::Builder::new();
+    h.join().unwrap_or(0)
+}
+
+pub fn cores() -> usize {
+    // Querying parallelism is legal; only spawning bypasses the pool.
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}

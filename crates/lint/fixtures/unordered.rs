@@ -1,0 +1,44 @@
+//! no-unordered-iteration fixture: iteration over hash collections is
+//! flagged; construction and point lookups stay legal.
+
+use std::collections::{HashMap, HashSet};
+
+pub struct Registry {
+    entries: HashMap<String, u64>,
+    tags: HashSet<String>,
+}
+
+impl Registry {
+    pub fn total(&self) -> u64 {
+        let mut n = 0;
+        for (_k, v) in self.entries.iter() {
+            n += v;
+        }
+        n
+    }
+
+    pub fn any_tag(&self) -> Option<&String> {
+        self.tags.iter().next()
+    }
+
+    pub fn lookup(&self, key: &str) -> Option<u64> {
+        // Point lookups are order-free and legal.
+        self.entries.get(key).copied()
+    }
+}
+
+pub fn drain_sum(m: &mut HashMap<u64, f64>) -> f64 {
+    let mut acc = 0.0;
+    for (_, v) in m.drain() {
+        acc += v;
+    }
+    acc
+}
+
+pub fn collect_set(s: &HashSet<u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for k in s {
+        out.push(*k);
+    }
+    out
+}

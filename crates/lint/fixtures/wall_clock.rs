@@ -1,0 +1,20 @@
+//! no-wall-clock fixture: seeded violations, lines pinned by the tests.
+
+use std::time::Instant;
+
+pub fn elapsed() -> f64 {
+    let t0 = Instant::now();
+    // Instant mentioned in a comment is not a finding.
+    let _label = "SystemTime::now() inside a string is not a finding";
+    t0.elapsed().as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::SystemTime;
+
+    #[test]
+    fn wall_clock_in_tests_is_legal() {
+        let _ = SystemTime::now();
+    }
+}

@@ -1,0 +1,419 @@
+//! A token-level Rust lexer, exact where it matters for linting.
+//!
+//! Regex-over-source linters drown in false positives the moment a
+//! forbidden name appears inside a string literal, a doc comment, or a
+//! `#[should_panic(expected = "...")]` attribute. This lexer does the
+//! minimal honest job instead: it classifies every byte of a source file
+//! as whitespace, identifier, number, punctuation, lifetime, string /
+//! char / byte literal, or comment — handling escapes, raw strings
+//! (`r#".."#` at any hash depth), nested block comments, and the
+//! lifetime-vs-char-literal ambiguity — so the rule passes downstream
+//! see *code* tokens only, with comments preserved as first-class tokens
+//! (the `lint: allow` escape hatch lives in them).
+//!
+//! The lexer is intentionally lossless about position (every token
+//! carries its 1-based line) and lossy about everything the rules never
+//! look at (numeric values, string contents beyond existence).
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers, name only).
+    Ident,
+    /// One punctuation character (`text` holds it verbatim).
+    Punct,
+    /// String literal of any flavour (`"…"`, `r"…"`, `r#"…"#`, `b"…"`).
+    Str,
+    /// Char or byte-char literal (`'a'`, `b'\n'`).
+    Char,
+    /// Numeric literal, suffix included (`1_000`, `0xFF`, `1.0f32`).
+    Num,
+    /// Lifetime (`'a`), name without the quote.
+    Lifetime,
+    /// `// …` comment, text after the slashes.
+    LineComment,
+    /// `/* … */` comment (nesting handled), inner text.
+    BlockComment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what each kind stores).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is a comment of either flavour.
+    #[inline]
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Whether this token is the punctuation character `c`.
+    #[inline]
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.as_bytes().first() == Some(&(c as u8))
+    }
+
+    /// Whether this token is the identifier `name`.
+    #[inline]
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == name
+    }
+}
+
+/// Lexes `src` into tokens. Never fails: unterminated constructs are
+/// closed at end of input (the lint must keep scanning a broken file
+/// rather than ignore it).
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, toks: Vec::new() }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    toks: Vec<Tok>,
+}
+
+impl Lexer<'_> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking newlines.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.src.get(self.pos).copied();
+        if let Some(b) = b {
+            self.pos += 1;
+            if b == b'\n' {
+                self.line += 1;
+            }
+        }
+        b
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.toks.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(b) = self.peek(0) {
+            let line = self.line;
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(line),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(line),
+                b'"' => self.string(line),
+                b'\'' => self.char_or_lifetime(line),
+                b'r' | b'b' if self.raw_or_byte_prefix() => self.prefixed_literal(line),
+                b'_' | b'a'..=b'z' | b'A'..=b'Z' => self.ident(line),
+                b'0'..=b'9' => self.number(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, (b as char).to_string(), line);
+                }
+            }
+        }
+        self.toks
+    }
+
+    /// Whether the `r`/`b` at the cursor starts a raw/byte literal rather
+    /// than a plain identifier.
+    fn raw_or_byte_prefix(&self) -> bool {
+        let b = self.peek(0);
+        // r"…", r#…, b"…", b'…', br…, rb is not a thing.
+        match (b, self.peek(1)) {
+            (Some(b'r'), Some(b'"')) | (Some(b'b'), Some(b'"')) | (Some(b'b'), Some(b'\'')) => true,
+            (Some(b'r'), Some(b'#')) => true, // raw string or raw ident
+            (Some(b'b'), Some(b'r')) => matches!(self.peek(2), Some(b'"') | Some(b'#')),
+            _ => false,
+        }
+    }
+
+    /// Lexes `r…`/`b…` prefixed literals and raw identifiers.
+    fn prefixed_literal(&mut self, line: u32) {
+        let first = self.bump(); // r or b
+        if first == Some(b'b') && self.peek(0) == Some(b'r') {
+            self.bump();
+        }
+        if first == Some(b'b') && self.peek(0) == Some(b'\'') {
+            self.bump();
+            self.char_body(line);
+            return;
+        }
+        // Count hashes; r#ident is a raw identifier, not a string.
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        if self.peek(0) != Some(b'"') {
+            // Raw identifier (`r#type`): lex the name as a plain ident.
+            self.ident(line);
+            return;
+        }
+        self.bump(); // opening quote
+                     // Raw string: no escapes; ends at `"` followed by `hashes` hashes.
+        loop {
+            match self.bump() {
+                None => break,
+                Some(b'"') => {
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some(b'#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump();
+        let start = self.pos;
+        let mut depth = 1usize;
+        let mut end = self.pos;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    end = self.pos;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => {
+                    end = self.pos;
+                    break;
+                }
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..end]).into_owned();
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening quote
+        loop {
+            match self.bump() {
+                None | Some(b'"') => break,
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Str, String::new(), line);
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) after the opening
+    /// quote of either.
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // opening quote
+        match self.peek(0) {
+            // `'_` and `'ident`: lifetime unless a closing quote follows
+            // the identifier run (`'q'` is a char).
+            Some(b'_') | Some(b'a'..=b'z') | Some(b'A'..=b'Z') => {
+                let mut len = 1usize;
+                while matches!(
+                    self.src.get(self.pos + len),
+                    Some(b'_') | Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9')
+                ) {
+                    len += 1;
+                }
+                if self.src.get(self.pos + len) == Some(&b'\'') {
+                    self.char_body(line);
+                } else {
+                    let start = self.pos;
+                    for _ in 0..len {
+                        self.bump();
+                    }
+                    let name = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.push(TokKind::Lifetime, name, line);
+                }
+            }
+            _ => self.char_body(line),
+        }
+    }
+
+    /// Consumes a char-literal body up to and including the closing quote
+    /// (the opening quote is already consumed).
+    fn char_body(&mut self, line: u32) {
+        loop {
+            match self.bump() {
+                None | Some(b'\'') => break,
+                Some(b'\\') => {
+                    self.bump();
+                }
+                Some(_) => {}
+            }
+        }
+        self.push(TokKind::Char, String::new(), line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let start = self.pos;
+        while matches!(
+            self.peek(0),
+            Some(b'_') | Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9')
+        ) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Ident, text, line);
+    }
+
+    /// Numeric literal with suffix (`1.0f32` is ONE token — the `no-f32`
+    /// rule needs the suffix). Stops before `..` so ranges stay ranges,
+    /// and takes a fractional part only when a digit follows the dot so
+    /// `1.max(2)` keeps its method call.
+    fn number(&mut self, line: u32) {
+        let start = self.pos;
+        while matches!(self.peek(0), Some(b'0'..=b'9') | Some(b'_')) {
+            self.bump();
+        }
+        // Hex/octal/binary bodies and type suffixes ride the same
+        // alphanumeric run (0xFF, 0b10, 10usize).
+        while matches!(
+            self.peek(0),
+            Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9') | Some(b'_')
+        ) {
+            self.bump();
+        }
+        if self.peek(0) == Some(b'.') && matches!(self.peek(1), Some(b'0'..=b'9')) {
+            self.bump();
+            while matches!(self.peek(0), Some(b'0'..=b'9') | Some(b'_')) {
+                self.bump();
+            }
+            // Exponent (1.5e-3) and suffix (1.0f32).
+            if matches!(self.peek(0), Some(b'e') | Some(b'E'))
+                && matches!(self.peek(1), Some(b'0'..=b'9') | Some(b'+') | Some(b'-'))
+            {
+                self.bump();
+                self.bump();
+                while matches!(self.peek(0), Some(b'0'..=b'9') | Some(b'_')) {
+                    self.bump();
+                }
+            }
+            while matches!(self.peek(0), Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9'))
+            {
+                self.bump();
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push(TokKind::Num, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_ident_rules() {
+        let toks = kinds(r#"let x = "Instant::now() inside a string";"#);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "Instant"));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_at_hash_depth() {
+        let toks = kinds(r###"let x = r#"std::time "quoted" inside"# ;"###);
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "time"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn nested_block_comments_and_line_comments() {
+        let toks = kinds("/* outer /* inner */ still */ code // trailing Instant");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "code"));
+        // `Instant` only appears inside the line comment token.
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "Instant"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::LineComment && t.contains("Instant")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'a' }");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn escaped_chars_and_byte_literals() {
+        let toks = kinds(r"let q = '\''; let n = b'\n'; let s = b\");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn float_suffix_stays_in_one_number_token() {
+        let toks = kinds("let x = 1.0f32 + 2f32; let r = 0..5; let m = 1.max(2);");
+        let nums: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Num).map(|(_, t)| t.as_str()).collect();
+        assert!(nums.contains(&"1.0f32"));
+        assert!(nums.contains(&"2f32"));
+        assert!(nums.contains(&"0") && nums.contains(&"5"), "range must split: {nums:?}");
+        assert!(nums.contains(&"1") && nums.contains(&"2"), "method call must split");
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_idents() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "type"));
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_tokens() {
+        let toks = lex("a\n/* x\ny */\nb");
+        let a = toks.iter().find(|t| t.is_ident("a")).map(|t| t.line);
+        let b = toks.iter().find(|t| t.is_ident("b")).map(|t| t.line);
+        assert_eq!(a, Some(1));
+        assert_eq!(b, Some(4));
+    }
+
+    #[test]
+    fn unterminated_constructs_do_not_hang() {
+        let _ = lex("let s = \"unterminated");
+        let _ = lex("/* never closed");
+        let _ = lex("let c = '");
+    }
+}

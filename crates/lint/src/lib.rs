@@ -1,0 +1,31 @@
+//! `dam-lint`: the workspace's in-repo invariant lint.
+//!
+//! Eight PRs of architecture notes accumulated a set of hand-enforced
+//! contracts — bit-identity for any thread count, no wall clock in the
+//! coordinator loop, whole-number count planes, structured errors
+//! instead of panics, keyed RNG streams only. This crate turns them
+//! into a static-analysis pass that fails CI the moment a change
+//! reintroduces `Instant::now` into `dam-cluster` or iterates a
+//! `HashMap` on a merge path.
+//!
+//! The pass is a token-level lexer ([`lexer`]) — strings, char
+//! literals, raw strings, and nested comments are real tokens, so
+//! `"thread::spawn"` in a doc string is never a finding — feeding
+//! rule scans ([`rules`]) scoped per crate and masked over
+//! `#[cfg(test)]` regions. Escape hatches are explicit and audited:
+//! `// lint: allow(<rule>, <reason>)` on (or directly above) the
+//! offending line; malformed allows are themselves findings, unused
+//! allows are reported for deletion.
+//!
+//! Run it with `cargo run --release -p dam-lint` (add `--json` for the
+//! machine-readable report); it exits nonzero on any unallowed finding.
+
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use rules::{lint_source, Allow, FileContext, Finding, Rule, ALL_RULES};
+pub use walk::{lint_workspace, Report};

@@ -1,0 +1,64 @@
+//! The `dam-lint` binary: lints the workspace, prints the report, and
+//! exits nonzero on any unallowed finding.
+//!
+//! Usage: `dam-lint [--json] [--root <path>]`. The root defaults to the
+//! workspace this binary was built from, so `cargo run -p dam-lint`
+//! needs no arguments locally or in CI.
+
+#![forbid(unsafe_code)]
+
+use dam_lint::{report, walk};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("dam-lint: --root needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: dam-lint [--json] [--root <workspace>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dam-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // The manifest dir is `<workspace>/crates/lint` at build time; two
+    // levels up is the workspace root.
+    let root =
+        root.unwrap_or_else(|| PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("..").join(".."));
+
+    let rep = match walk::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("dam-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        print!("{}", report::json(&rep));
+    } else {
+        print!("{}", report::human(&rep));
+        for (rule, n) in report::rule_counts(&rep) {
+            eprintln!("deny: {} × {}", n, rule.name());
+        }
+    }
+    if rep.unallowed().next().is_some() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

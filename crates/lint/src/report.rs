@@ -1,0 +1,170 @@
+//! Finding presentation: the human report and the `--json` report.
+//!
+//! JSON is hand-rolled (the crate takes no registry deps); the escaping
+//! covers everything the findings can contain (paths, messages, allow
+//! reasons — plain ASCII plus the occasional quote or backslash).
+
+use crate::rules::{Rule, ALL_RULES};
+use crate::walk::Report;
+use std::fmt::Write;
+
+/// Renders the human-readable report: unallowed findings grouped by
+/// rule, then allowed findings and unused allows as context.
+pub fn human(report: &Report) -> String {
+    let mut out = String::new();
+    let unallowed: Vec<_> = report.unallowed().collect();
+    for rule in ALL_RULES {
+        let of_rule: Vec<_> = unallowed.iter().filter(|f| f.rule == rule).collect();
+        if of_rule.is_empty() {
+            continue;
+        }
+        let _ =
+            writeln!(out, "{} ({} finding{}):", rule.name(), of_rule.len(), plural(of_rule.len()));
+        for f in of_rule {
+            let _ = writeln!(out, "  {}:{}: {}", f.file, f.line, f.message);
+        }
+    }
+    let allowed = report.findings.iter().filter(|f| f.allowed.is_some()).count();
+    if allowed > 0 {
+        let _ =
+            writeln!(out, "allowed: {allowed} finding{} carry an escape hatch", plural(allowed));
+    }
+    for (file, a) in report.unused_allows() {
+        let _ = writeln!(
+            out,
+            "note: {}:{}: unused `lint: allow({}, …)` — the site it covered is gone; delete it",
+            file,
+            a.line,
+            a.rule.name()
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{} file{} scanned, {} unallowed finding{}",
+        report.files.len(),
+        plural(report.files.len()),
+        unallowed.len(),
+        plural(unallowed.len())
+    );
+    out
+}
+
+/// Renders the machine-readable report (one JSON object; findings carry
+/// rule, file, line, message, and the allow reason when covered).
+pub fn json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {}, \"allowed\": {}}}",
+            if i == 0 { "" } else { "," },
+            quote(f.rule.name()),
+            quote(&f.file),
+            f.line,
+            quote(&f.message),
+            match &f.allowed {
+                Some(reason) => quote(reason),
+                None => "null".to_string(),
+            }
+        );
+    }
+    let _ = write!(out, "\n  ],\n  \"unused_allows\": [");
+    for (i, (file, a)) in report.unused_allows().enumerate() {
+        let _ = write!(
+            out,
+            "{}\n    {{\"rule\": {}, \"file\": {}, \"line\": {}}}",
+            if i == 0 { "" } else { "," },
+            quote(a.rule.name()),
+            quote(file),
+            a.line
+        );
+    }
+    let unallowed = report.unallowed().count();
+    let _ = write!(
+        out,
+        "\n  ],\n  \"files_scanned\": {},\n  \"unallowed\": {}\n}}\n",
+        report.files.len(),
+        unallowed
+    );
+    out
+}
+
+/// Summary counts per rule (unallowed only), for the CLI footer.
+pub fn rule_counts(report: &Report) -> Vec<(Rule, usize)> {
+    ALL_RULES
+        .iter()
+        .map(|&r| (r, report.unallowed().filter(|f| f.rule == r).count()))
+        .filter(|(_, n)| *n > 0)
+        .collect()
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// JSON string quoting (control chars, quotes, backslashes).
+pub(crate) fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{lint_source, FileContext};
+
+    fn sample() -> Report {
+        let src = "pub fn f(v: &[u64]) -> u64 {\n    v.first().copied().unwrap()\n}\n";
+        let ctx = FileContext { path: "crates/x/src/m.rs", krate: "dam-x", is_crate_root: false };
+        let (findings, allows) = lint_source(src, ctx);
+        Report {
+            findings,
+            allows: allows.into_iter().map(|a| ("crates/x/src/m.rs".to_string(), a)).collect(),
+            files: vec!["crates/x/src/m.rs".to_string()],
+        }
+    }
+
+    #[test]
+    fn json_report_carries_rule_file_line_and_allow_state() {
+        let j = json(&sample());
+        assert!(j.contains("\"rule\": \"no-panic-in-lib\""));
+        assert!(j.contains("\"file\": \"crates/x/src/m.rs\""));
+        assert!(j.contains("\"line\": 2"));
+        assert!(j.contains("\"allowed\": null"));
+        assert!(j.contains("\"files_scanned\": 1"));
+        assert!(j.contains("\"unallowed\": 1"));
+    }
+
+    #[test]
+    fn human_report_groups_by_rule_with_file_line() {
+        let h = human(&sample());
+        assert!(h.contains("no-panic-in-lib (1 finding):"));
+        assert!(h.contains("crates/x/src/m.rs:2:"));
+        assert!(h.contains("1 file scanned, 1 unallowed finding"));
+    }
+
+    #[test]
+    fn quoting_escapes_json_metacharacters() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(quote("\u{1}"), "\"\\u0001\"");
+    }
+}

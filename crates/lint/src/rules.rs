@@ -1,0 +1,665 @@
+//! The repo-specific invariant rules and their per-crate scoping.
+//!
+//! Each rule mechanises one architecture contract the ROADMAP has so far
+//! enforced by convention (the motivating PR is noted per rule). Rules
+//! run over the [`crate::lexer`] token stream with `#[cfg(test)]` /
+//! `#[test]` item bodies excluded — tests may construct ad-hoc RNGs and
+//! panic freely; library code may not.
+
+use crate::lexer::{Tok, TokKind};
+
+/// The enforced invariants. Order here is the order findings are listed
+/// under per rule in the human report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// No `std::time` / `Instant` / `SystemTime` outside the eval/bench
+    /// harness: the cluster coordinator's simulated clock is the only
+    /// clock (PR 8's replay bit-identity depends on it).
+    NoWallClock,
+    /// No iteration over `HashMap` / `HashSet` in deterministic crates:
+    /// iteration order is randomized per process, so any merge or
+    /// accumulation path riding it breaks bit-identity (PR 2's
+    /// shard-order merge contract). Construction and lookups stay legal.
+    NoUnorderedIteration,
+    /// No `thread::spawn` / `thread::scope` / `thread::Builder`: all
+    /// parallelism rides the persistent pool shim (PR 2), which is what
+    /// the determinism suites certify.
+    NoThreadSpawn,
+    /// No entropy-based or ad-hoc RNG construction: every stream is
+    /// derived from keyed SplitMix64 helpers (`shard_rng`, `job_stream`,
+    /// `dam_geo::rng`), so runs replay bit-identically (PRs 2/5/6).
+    NoEntropyRng,
+    /// No `unwrap` / `expect` / `panic!` in non-test library code without
+    /// an explicit `// lint: allow(no-panic-in-lib, <why unreachable>)`:
+    /// long-running pipelines degrade gracefully with structured errors
+    /// (PR 6's fault-tolerance contract).
+    NoPanicInLib,
+    /// No `f32` in the numeric kernels: count planes are whole-number
+    /// `f64` (quorum rescale quantization, WAL replay exactness — PR 8)
+    /// and EM/transport accuracy claims are measured at `f64`.
+    NoF32,
+    /// Every library crate root must carry `#![forbid(unsafe_code)]`
+    /// (the workspace has zero `unsafe` outside the vendored shims —
+    /// locked in so it stays that way).
+    ForbidUnsafe,
+    /// A `lint: allow(...)` comment that does not parse — unknown rule,
+    /// missing reason, or broken syntax. A typo'd escape hatch must fail
+    /// loudly, not silently allow nothing.
+    MalformedAllow,
+}
+
+/// Every real rule, in report order ([`Rule::MalformedAllow`] included —
+/// it is a finding like any other).
+pub const ALL_RULES: [Rule; 8] = [
+    Rule::NoWallClock,
+    Rule::NoUnorderedIteration,
+    Rule::NoThreadSpawn,
+    Rule::NoEntropyRng,
+    Rule::NoPanicInLib,
+    Rule::NoF32,
+    Rule::ForbidUnsafe,
+    Rule::MalformedAllow,
+];
+
+impl Rule {
+    /// The kebab-case name used in reports and `lint: allow(...)`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::NoWallClock => "no-wall-clock",
+            Rule::NoUnorderedIteration => "no-unordered-iteration",
+            Rule::NoThreadSpawn => "no-thread-spawn",
+            Rule::NoEntropyRng => "no-entropy-rng",
+            Rule::NoPanicInLib => "no-panic-in-lib",
+            Rule::NoF32 => "no-f32",
+            Rule::ForbidUnsafe => "forbid-unsafe",
+            Rule::MalformedAllow => "malformed-allow",
+        }
+    }
+
+    /// Parses a rule name (the inverse of [`Rule::name`];
+    /// [`Rule::MalformedAllow`] is not allowable and not parsed).
+    pub fn from_name(name: &str) -> Option<Rule> {
+        ALL_RULES.iter().copied().find(|r| *r != Rule::MalformedAllow && r.name() == name)
+    }
+
+    /// Whether the rule is checked at all for `krate`.
+    ///
+    /// * the eval harness and the bench fixtures legitimately measure
+    ///   wall time, iterate caches, and assert hard — they are exempt
+    ///   from the determinism/robustness rules but still forbidden from
+    ///   spawning threads, constructing entropy RNGs, using `unsafe`;
+    /// * `no-f32` guards only the numeric kernels.
+    pub fn applies_to(self, krate: &str) -> bool {
+        let harness = matches!(krate, "dam-eval" | "dam-bench");
+        match self {
+            Rule::NoWallClock | Rule::NoUnorderedIteration | Rule::NoPanicInLib => !harness,
+            Rule::NoThreadSpawn
+            | Rule::NoEntropyRng
+            | Rule::ForbidUnsafe
+            | Rule::MalformedAllow => true,
+            Rule::NoF32 => matches!(krate, "dam-core" | "dam-fo" | "dam-transport"),
+        }
+    }
+}
+
+/// One rule violation (or escape-hatch defect) at a source position.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human explanation of what was matched.
+    pub message: String,
+    /// The allow reason when an escape hatch covered this finding;
+    /// `None` means unallowed (fails the run).
+    pub allowed: Option<String>,
+}
+
+/// One parsed `// lint: allow(<rule>, <reason>)` escape hatch.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule being allowed.
+    pub rule: Rule,
+    /// The stated justification (verbatim, trimmed).
+    pub reason: String,
+    /// Line the comment sits on.
+    pub line: u32,
+    /// First line the allow covers: its own line for a trailing comment,
+    /// the next code line for a comment on a line of its own.
+    pub target_line: u32,
+    /// Last covered line: same as `target_line` for a trailing comment;
+    /// for an own-line comment the statement below may wrap, so coverage
+    /// extends to its terminating `;` (or opening `{`).
+    pub target_end: u32,
+    /// Whether some finding consumed this allow.
+    pub used: bool,
+}
+
+/// What the linter needs to know about a file beyond its text.
+#[derive(Debug, Clone, Copy)]
+pub struct FileContext<'a> {
+    /// Workspace-relative path, used verbatim in findings.
+    pub path: &'a str,
+    /// Cargo package name owning the file (drives rule scoping).
+    pub krate: &'a str,
+    /// Whether this is the crate root (`lib.rs`) — the file the
+    /// `forbid-unsafe` attribute check runs against.
+    pub is_crate_root: bool,
+}
+
+/// Lints one file: returns its findings (allowed and not) and the parsed
+/// escape hatches (with usage marked), for the caller to aggregate.
+pub fn lint_source(src: &str, ctx: FileContext<'_>) -> (Vec<Finding>, Vec<Allow>) {
+    let toks = crate::lexer::lex(src);
+    let in_test = test_spans(&toks);
+    let (mut allows, mut findings) = parse_allows(&toks, ctx);
+
+    let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+    let scan = Scan { toks: &toks, code: &code, in_test: &in_test, ctx };
+
+    if Rule::NoWallClock.applies_to(ctx.krate) {
+        scan.wall_clock(&mut findings);
+    }
+    if Rule::NoUnorderedIteration.applies_to(ctx.krate) {
+        scan.unordered_iteration(&mut findings);
+    }
+    if Rule::NoThreadSpawn.applies_to(ctx.krate) {
+        scan.thread_spawn(&mut findings);
+    }
+    if Rule::NoEntropyRng.applies_to(ctx.krate) {
+        scan.entropy_rng(&mut findings);
+    }
+    if Rule::NoPanicInLib.applies_to(ctx.krate) {
+        scan.panic_in_lib(&mut findings);
+    }
+    if Rule::NoF32.applies_to(ctx.krate) {
+        scan.f32_use(&mut findings);
+    }
+    if ctx.is_crate_root && Rule::ForbidUnsafe.applies_to(ctx.krate) {
+        scan.forbid_unsafe_attr(&mut findings);
+    }
+
+    // Match findings against allows: an allow covers findings of its rule
+    // on its target line.
+    for f in &mut findings {
+        if f.rule == Rule::MalformedAllow {
+            continue;
+        }
+        if let Some(a) = allows.iter_mut().find(|a| {
+            a.rule == f.rule
+                && ((a.target_line..=a.target_end).contains(&f.line) || a.line == f.line)
+        }) {
+            a.used = true;
+            f.allowed = Some(a.reason.clone());
+        }
+    }
+    findings.sort_by_key(|f| (f.line, f.rule));
+    (findings, allows)
+}
+
+/// Marks, per token, whether it sits inside a `#[cfg(test)]` / `#[test]`
+/// item body (or a `#[cfg(test)] use …;`-style braceless item).
+///
+/// The walk is purely token-level: a test attribute arms a pending flag;
+/// the next `{` opens a test span closed by its matching `}`; a `;`
+/// before any `{` ends a braceless attributed item.
+fn test_spans(toks: &[Tok]) -> Vec<bool> {
+    let mut out = vec![false; toks.len()];
+    let mut depth = 0usize;
+    let mut test_open_depths: Vec<usize> = Vec::new();
+    let mut pending = false;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if !test_open_depths.is_empty() {
+            out[i] = true;
+        }
+        if t.is_punct('#') {
+            // `#[…]` or `#![…]`: scan the attribute, bracket-balanced.
+            let mut j = i + 1;
+            let inner = toks.get(j).map(|t| t.is_punct('!')).unwrap_or(false);
+            if inner {
+                j += 1;
+            }
+            if toks.get(j).map(|t| t.is_punct('[')).unwrap_or(false) {
+                let mut bal = 0i32;
+                let mut has_test = false;
+                while j < toks.len() {
+                    if toks[j].is_punct('[') {
+                        bal += 1;
+                    } else if toks[j].is_punct(']') {
+                        bal -= 1;
+                        if bal == 0 {
+                            break;
+                        }
+                    } else if toks[j].is_ident("test") {
+                        has_test = true;
+                    }
+                    if !test_open_depths.is_empty() {
+                        out[j] = true;
+                    }
+                    j += 1;
+                }
+                if !test_open_depths.is_empty() && j < toks.len() {
+                    out[j] = true;
+                }
+                if has_test && !inner {
+                    pending = true;
+                }
+                i = j + 1;
+                continue;
+            }
+        }
+        if t.is_punct('{') {
+            depth += 1;
+            if pending {
+                test_open_depths.push(depth);
+                pending = false;
+                out[i] = true;
+            }
+        } else if t.is_punct('}') {
+            if test_open_depths.last() == Some(&depth) {
+                test_open_depths.pop();
+            }
+            depth = depth.saturating_sub(1);
+        } else if t.is_punct(';') && pending {
+            // Braceless attributed item (`#[cfg(test)] use …;`): the test
+            // scope was just that item.
+            pending = false;
+            out[i] = true;
+        } else if pending && !t.is_comment() {
+            // Tokens between a test attribute and its body (fn signature,
+            // mod name) belong to the test item.
+            out[i] = true;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Extracts `lint: allow(rule, reason)` escape hatches from comments, and
+/// emits [`Rule::MalformedAllow`] findings for ones that fail to parse.
+fn parse_allows(toks: &[Tok], ctx: FileContext<'_>) -> (Vec<Allow>, Vec<Finding>) {
+    let mut allows = Vec::new();
+    let mut findings = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_comment() {
+            continue;
+        }
+        // The directive must open the comment (`// lint: allow(…)`);
+        // prose that merely *mentions* the syntax mid-comment (docs,
+        // lint messages) is not a directive.
+        let content = t.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = content.strip_prefix("lint:") else { continue };
+        let rest = rest.trim_start();
+        if !rest.starts_with("allow") {
+            continue;
+        }
+        let mut bad = |why: &str| {
+            findings.push(Finding {
+                rule: Rule::MalformedAllow,
+                file: ctx.path.to_string(),
+                line: t.line,
+                message: format!("malformed lint: allow comment ({why})"),
+                allowed: None,
+            });
+        };
+        let body = rest["allow".len()..].trim_start();
+        // Split at the LAST `)` so reasons may themselves contain parens
+        // ("bytes(4) returned exactly 4 bytes").
+        let Some((inner, _)) = body.strip_prefix('(').and_then(|b| b.rsplit_once(')')) else {
+            bad("expected `allow(<rule>, <reason>)`");
+            continue;
+        };
+        let Some((rule_name, reason)) = inner.split_once(',') else {
+            bad("missing `, <reason>` — every escape hatch must state why");
+            continue;
+        };
+        let Some(rule) = Rule::from_name(rule_name.trim()) else {
+            bad(&format!(
+                "unknown rule `{}` (expected one of: {})",
+                rule_name.trim(),
+                rule_names()
+            ));
+            continue;
+        };
+        let reason = reason.trim();
+        if reason.is_empty() {
+            bad("empty reason — every escape hatch must state why");
+            continue;
+        }
+        // Trailing comment covers its own line; a comment alone on a line
+        // covers the next statement (which rustfmt may have wrapped), up
+        // to its terminating `;` or opening `{`.
+        let own_line = toks[..i].iter().any(|p| p.line == t.line && !p.is_comment());
+        let (target_line, target_end) = if own_line {
+            (t.line, t.line)
+        } else {
+            let mut start = t.line;
+            let mut end = t.line;
+            let mut bal = 0i32;
+            let mut seen_code = false;
+            for n in &toks[i + 1..] {
+                if n.is_comment() {
+                    continue;
+                }
+                // Block boundaries end the statement without extending
+                // coverage onto their line; a `;` terminator is part of
+                // the statement.
+                if matches!(n.text.as_str(), "{" | "}") && bal <= 0 {
+                    break;
+                }
+                if !seen_code {
+                    start = n.line;
+                    seen_code = true;
+                }
+                end = n.line;
+                match n.text.as_str() {
+                    "(" | "[" => bal += 1,
+                    ")" | "]" => bal -= 1,
+                    ";" if bal <= 0 => break,
+                    _ => {}
+                }
+            }
+            (start, end)
+        };
+        allows.push(Allow {
+            rule,
+            reason: reason.to_string(),
+            line: t.line,
+            target_line,
+            target_end,
+            used: false,
+        });
+    }
+    (allows, findings)
+}
+
+/// The allowable rule names, comma-joined (for the malformed-allow hint).
+fn rule_names() -> String {
+    let names: Vec<&str> =
+        ALL_RULES.iter().filter(|r| **r != Rule::MalformedAllow).map(|r| r.name()).collect();
+    names.join(", ")
+}
+
+/// Shared scanning state: the token stream, the comment-free index view,
+/// and the test-span mask.
+struct Scan<'a> {
+    toks: &'a [Tok],
+    /// Indices into `toks` of non-comment tokens, in order.
+    code: &'a [usize],
+    in_test: &'a [bool],
+    ctx: FileContext<'a>,
+}
+
+impl Scan<'_> {
+    fn tok(&self, ci: usize) -> Option<&Tok> {
+        self.code.get(ci).map(|&i| &self.toks[i])
+    }
+
+    fn is_test(&self, ci: usize) -> bool {
+        self.code.get(ci).map(|&i| self.in_test[i]).unwrap_or(false)
+    }
+
+    fn ident(&self, ci: usize) -> Option<&str> {
+        self.tok(ci).filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str())
+    }
+
+    fn punct(&self, ci: usize, c: char) -> bool {
+        self.tok(ci).map(|t| t.is_punct(c)).unwrap_or(false)
+    }
+
+    /// `::` as two adjacent colon puncts at code positions `ci, ci+1`.
+    fn path_sep(&self, ci: usize) -> bool {
+        self.punct(ci, ':') && self.punct(ci + 1, ':')
+    }
+
+    fn emit(&self, out: &mut Vec<Finding>, rule: Rule, ci: usize, message: String) {
+        // lint itself never fires inside test code.
+        if self.is_test(ci) {
+            return;
+        }
+        if let Some(t) = self.tok(ci) {
+            out.push(Finding {
+                rule,
+                file: self.ctx.path.to_string(),
+                line: t.line,
+                message,
+                allowed: None,
+            });
+        }
+    }
+
+    /// `no-wall-clock`: `Instant` / `SystemTime` idents and the
+    /// `std::time` path (which also catches `Duration` imports).
+    fn wall_clock(&self, out: &mut Vec<Finding>) {
+        for ci in 0..self.code.len() {
+            match self.ident(ci) {
+                Some(name @ ("Instant" | "SystemTime")) => self.emit(
+                    out,
+                    Rule::NoWallClock,
+                    ci,
+                    format!("`{name}`: wall-clock time is forbidden outside dam-eval/dam-bench (the coordinator's simulated clock is the only clock)"),
+                ),
+                Some("time")
+                    if ci >= 3
+                        && self.path_sep(ci - 2)
+                        && self.ident(ci - 3) == Some("std") =>
+                {
+                    self.emit(
+                        out,
+                        Rule::NoWallClock,
+                        ci,
+                        "`std::time`: wall-clock time is forbidden outside dam-eval/dam-bench".to_string(),
+                    )
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// `no-unordered-iteration`: iteration entry points on identifiers
+    /// bound (or typed) as `HashMap` / `HashSet`. Binding detection is a
+    /// short backward walk from each `HashMap`/`HashSet` token over path
+    /// segments and generic wrappers to the `ident :` / `ident =` that
+    /// owns it, so `let`-locals and struct fields are both tracked.
+    fn unordered_iteration(&self, out: &mut Vec<Finding>) {
+        const ITER_METHODS: [&str; 8] =
+            ["iter", "iter_mut", "into_iter", "keys", "values", "values_mut", "drain", "retain"];
+        // Pass 1: tracked identifiers.
+        let mut tracked: Vec<(String, &'static str)> = Vec::new();
+        for ci in 0..self.code.len() {
+            let Some(name @ ("HashMap" | "HashSet")) = self.ident(ci) else { continue };
+            let kind = if name == "HashMap" { "HashMap" } else { "HashSet" };
+            // Walk back over `std :: collections ::`, generic openers and
+            // wrapper idents to the binding site.
+            let mut j = ci;
+            let mut steps = 0;
+            while j > 0 && steps < 16 {
+                j -= 1;
+                steps += 1;
+                let Some(t) = self.tok(j) else { break };
+                if t.is_punct(':') && j > 0 && self.punct(j - 1, ':') {
+                    j -= 1; // path separator
+                    continue;
+                }
+                if t.kind == TokKind::Ident || t.is_punct('<') || t.is_punct('&') {
+                    continue; // path segment, generic wrapper, reference
+                }
+                if t.is_punct(':') || t.is_punct('=') {
+                    // The token before is the bound name (skipping `mut`).
+                    let mut k = j;
+                    while k > 0 {
+                        k -= 1;
+                        match self.ident(k) {
+                            Some("mut") => continue,
+                            Some(id) => {
+                                tracked.push((id.to_string(), kind));
+                                break;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                break;
+            }
+        }
+        // Pass 2: iteration entry points on tracked identifiers.
+        for ci in 0..self.code.len() {
+            let Some(id) = self.ident(ci) else { continue };
+            let Some((_, kind)) = tracked.iter().find(|(n, _)| n == id) else { continue };
+            // `map.iter()` / `map.keys()` / …  (receiver may be
+            // `self.map`; the field name is what is tracked).
+            if self.punct(ci + 1, '.') {
+                if let Some(m) = self.ident(ci + 2) {
+                    if ITER_METHODS.contains(&m) && self.punct(ci + 3, '(') {
+                        self.emit(
+                            out,
+                            Rule::NoUnorderedIteration,
+                            ci + 2,
+                            format!("`{id}.{m}()` iterates a {kind} in arbitrary order; merge/accumulate paths must be order-independent (sort first, or use a BTree/sorted-Vec structure)"),
+                        );
+                        continue;
+                    }
+                }
+            }
+            // `for x in [&[mut]] map` — the bare collection as the
+            // iterable.
+            let mut j = ci;
+            while j > 0 {
+                let p = j - 1;
+                if self.punct(p, '&') || self.ident(p) == Some("mut") {
+                    j = p;
+                    continue;
+                }
+                if self.ident(p) == Some("in") {
+                    self.emit(
+                        out,
+                        Rule::NoUnorderedIteration,
+                        ci,
+                        format!("`for … in {id}` iterates a {kind} in arbitrary order"),
+                    );
+                }
+                break;
+            }
+        }
+    }
+
+    /// `no-thread-spawn`: `thread::spawn`, `thread::scope`,
+    /// `thread::Builder` (pool-bypassing primitives); bare
+    /// `thread::available_parallelism` etc. stay legal.
+    fn thread_spawn(&self, out: &mut Vec<Finding>) {
+        for ci in 0..self.code.len() {
+            let Some(name @ ("spawn" | "scope" | "Builder")) = self.ident(ci) else { continue };
+            if ci >= 3 && self.path_sep(ci - 2) && self.ident(ci - 3) == Some("thread") {
+                self.emit(
+                    out,
+                    Rule::NoThreadSpawn,
+                    ci,
+                    format!("`thread::{name}`: all parallelism must ride the persistent pool shim (`rayon::pool::run`)"),
+                );
+            }
+        }
+    }
+
+    /// `no-entropy-rng`: entropy sources anywhere; ad-hoc seeded
+    /// construction outside `dam-geo` (whose `rng` module is the keyed
+    /// stream factory the rest of the workspace must go through).
+    fn entropy_rng(&self, out: &mut Vec<Finding>) {
+        for ci in 0..self.code.len() {
+            let Some(id) = self.ident(ci) else { continue };
+            match id {
+                "from_entropy" | "thread_rng" | "OsRng" | "from_os_rng" => self.emit(
+                    out,
+                    Rule::NoEntropyRng,
+                    ci,
+                    format!("`{id}`: entropy-based RNG construction breaks replayability; derive a keyed stream via dam_geo::rng instead"),
+                ),
+                "seed_from_u64" | "from_seed" | "from_rng" if self.ctx.krate != "dam-geo" => self
+                    .emit(
+                        out,
+                        Rule::NoEntropyRng,
+                        ci,
+                        format!("`{id}`: ad-hoc RNG construction outside dam-geo; use the keyed stream helpers (`rng::seeded`/`derived`/`shard_rng`/`keyed`)"),
+                    ),
+                _ => {}
+            }
+        }
+    }
+
+    /// `no-panic-in-lib`: `.unwrap()` / `.expect(` / `panic!(` in
+    /// non-test library code (escape hatch: `lint: allow`).
+    fn panic_in_lib(&self, out: &mut Vec<Finding>) {
+        for ci in 0..self.code.len() {
+            let Some(id) = self.ident(ci) else { continue };
+            match id {
+                "unwrap" | "expect"
+                    if ci >= 1 && self.punct(ci - 1, '.') && self.punct(ci + 1, '(') =>
+                {
+                    self.emit(
+                        out,
+                        Rule::NoPanicInLib,
+                        ci,
+                        format!("`.{id}()` in library code: return a structured error, or state the unreachability invariant in a `// lint: allow(no-panic-in-lib, …)`"),
+                    )
+                }
+                "panic" | "todo" | "unimplemented" if self.punct(ci + 1, '!') => self.emit(
+                    out,
+                    Rule::NoPanicInLib,
+                    ci,
+                    format!("`{id}!` in library code: long-running pipelines degrade gracefully with structured errors (PR 6), they do not abort"),
+                ),
+                _ => {}
+            }
+        }
+    }
+
+    /// `no-f32`: the `f32` type (or literal suffix) in the numeric
+    /// kernels.
+    fn f32_use(&self, out: &mut Vec<Finding>) {
+        for ci in 0..self.code.len() {
+            let Some(t) = self.tok(ci) else { continue };
+            let hit = match t.kind {
+                TokKind::Ident => t.text == "f32",
+                TokKind::Num => t.text.ends_with("f32"),
+                _ => false,
+            };
+            if hit {
+                self.emit(
+                    out,
+                    Rule::NoF32,
+                    ci,
+                    "`f32` in a numeric kernel: count planes and estimates are f64 end to end (whole-number count exactness, measured accuracy claims)".to_string(),
+                );
+            }
+        }
+    }
+
+    /// `forbid-unsafe`: the crate root must open with
+    /// `#![forbid(unsafe_code)]`.
+    fn forbid_unsafe_attr(&self, out: &mut Vec<Finding>) {
+        for ci in 0..self.code.len().saturating_sub(7) {
+            if self.punct(ci, '#')
+                && self.punct(ci + 1, '!')
+                && self.punct(ci + 2, '[')
+                && self.ident(ci + 3) == Some("forbid")
+                && self.punct(ci + 4, '(')
+                && self.ident(ci + 5) == Some("unsafe_code")
+                && self.punct(ci + 6, ')')
+                && self.punct(ci + 7, ']')
+            {
+                return;
+            }
+        }
+        out.push(Finding {
+            rule: Rule::ForbidUnsafe,
+            file: self.ctx.path.to_string(),
+            line: 1,
+            message: "crate root is missing `#![forbid(unsafe_code)]` (the workspace is unsafe-free outside vendored shims; lock it in)".to_string(),
+            allowed: None,
+        });
+    }
+}

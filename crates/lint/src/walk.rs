@@ -1,0 +1,96 @@
+//! Workspace discovery: which files get linted, and which crate owns
+//! each (for per-crate rule scoping).
+//!
+//! Scanned: every `crates/<dir>/src/**/*.rs` plus the umbrella's root
+//! `src/**/*.rs`. Not scanned: `vendor/` (the shims mirror external
+//! crates and are covered by the sanitizer hooks, not the lint),
+//! `tests/`, `benches/`, `examples/` (integration surfaces are test
+//! code by definition).
+
+use crate::rules::{lint_source, Allow, FileContext, Finding};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The outcome of linting one workspace tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Every finding from every file, allowed or not, in path order.
+    pub findings: Vec<Finding>,
+    /// Every parsed escape hatch, with usage marked.
+    pub allows: Vec<(String, Allow)>,
+    /// Files scanned, in scan order (workspace-relative).
+    pub files: Vec<String>,
+}
+
+impl Report {
+    /// Findings not covered by an escape hatch — the ones that fail the
+    /// run.
+    pub fn unallowed(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.allowed.is_none())
+    }
+
+    /// Escape hatches no finding consumed (reported informationally:
+    /// usually a fixed site whose annotation should now be deleted).
+    pub fn unused_allows(&self) -> impl Iterator<Item = &(String, Allow)> {
+        self.allows.iter().filter(|(_, a)| !a.used)
+    }
+}
+
+/// Maps a crate directory name to its Cargo package name
+/// (`crates/core` → `dam-core`; the root `src/` is `spatial-ldp`).
+pub fn crate_name(dir: &str) -> String {
+    format!("dam-{dir}")
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    let mut report = Report::default();
+    let mut units: Vec<(PathBuf, String)> = Vec::new();
+
+    let crates_dir = root.join("crates");
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.join("src").is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir.file_name().and_then(|n| n.to_str()).map(crate_name).unwrap_or_default();
+        units.push((dir.join("src"), name));
+    }
+    if root.join("src").is_dir() {
+        units.push((root.join("src"), "spatial-ldp".to_string()));
+    }
+
+    for (src_dir, krate) in units {
+        let mut files = Vec::new();
+        collect_rs(&src_dir, &mut files)?;
+        files.sort();
+        for file in files {
+            let rel = file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
+            let is_root = file.file_name().and_then(|n| n.to_str()) == Some("lib.rs")
+                && file.parent() == Some(src_dir.as_path());
+            let src = fs::read_to_string(&file)?;
+            let ctx = FileContext { path: &rel, krate: &krate, is_crate_root: is_root };
+            let (findings, allows) = lint_source(&src, ctx);
+            report.findings.extend(findings);
+            report.allows.extend(allows.into_iter().map(|a| (rel.clone(), a)));
+            report.files.push(rel);
+        }
+    }
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,167 @@
+//! Pins the lint's findings on the committed fixture files exactly:
+//! every seeded violation is caught at its precise file:line with the
+//! documented rule name, and nothing else fires.
+
+use dam_lint::{lint_source, FileContext, Rule};
+
+/// Lints `src` as a non-root file of `krate` and returns the findings as
+/// `(rule-name, line, allowed)` triples in report order.
+fn run(src: &str, krate: &str) -> Vec<(&'static str, u32, bool)> {
+    let ctx = FileContext { path: "fixture.rs", krate, is_crate_root: false };
+    let (findings, _) = lint_source(src, ctx);
+    findings.iter().map(|f| (f.rule.name(), f.line, f.allowed.is_some())).collect()
+}
+
+#[test]
+fn wall_clock_findings_are_pinned() {
+    let got = run(include_str!("../fixtures/wall_clock.rs"), "dam-cluster");
+    assert_eq!(
+        got,
+        vec![
+            ("no-wall-clock", 3, false), // `std::time` in the use path
+            ("no-wall-clock", 3, false), // `Instant` in the same import
+            ("no-wall-clock", 6, false), // `Instant::now()`
+        ],
+        "comment/string mentions and the #[cfg(test)] SystemTime must not fire"
+    );
+}
+
+#[test]
+fn wall_clock_is_legal_in_the_harness_crates() {
+    let src = include_str!("../fixtures/wall_clock.rs");
+    assert!(run(src, "dam-eval").is_empty());
+    assert!(run(src, "dam-bench").is_empty());
+}
+
+#[test]
+fn unordered_iteration_findings_are_pinned() {
+    let got = run(include_str!("../fixtures/unordered.rs"), "dam-cluster");
+    assert_eq!(
+        got,
+        vec![
+            ("no-unordered-iteration", 14, false), // entries.iter()
+            ("no-unordered-iteration", 21, false), // tags.iter()
+            ("no-unordered-iteration", 32, false), // m.drain()
+            ("no-unordered-iteration", 40, false), // for k in s
+        ],
+        "construction and point lookups (`get`) must stay legal"
+    );
+}
+
+#[test]
+fn thread_spawn_findings_are_pinned() {
+    let got = run(include_str!("../fixtures/thread_spawn.rs"), "dam-cluster");
+    assert_eq!(
+        got,
+        vec![
+            ("no-thread-spawn", 5, false), // thread::spawn
+            ("no-thread-spawn", 6, false), // thread::scope
+            ("no-thread-spawn", 7, false), // thread::Builder
+        ],
+        "available_parallelism is a query, not a spawn"
+    );
+}
+
+#[test]
+fn entropy_rng_findings_are_pinned_and_scoped() {
+    let src = include_str!("../fixtures/entropy_rng.rs");
+    assert_eq!(
+        run(src, "dam-core"),
+        vec![("no-entropy-rng", 8, false), ("no-entropy-rng", 12, false)]
+    );
+    // dam-geo owns the keyed-stream factory: seeded construction is its
+    // job, but entropy sources stay forbidden even there.
+    assert_eq!(run(src, "dam-geo"), vec![("no-entropy-rng", 12, false)]);
+}
+
+#[test]
+fn panic_findings_distinguish_allowed_and_bare_sites() {
+    let got = run(include_str!("../fixtures/panic_lib.rs"), "dam-cluster");
+    assert_eq!(
+        got,
+        vec![
+            ("no-panic-in-lib", 5, false),  // bare unwrap
+            ("no-panic-in-lib", 10, true),  // own-line allow above
+            ("no-panic-in-lib", 14, true),  // trailing allow
+            ("no-panic-in-lib", 18, false), // bare panic!
+        ],
+        "test-module unwraps must not fire"
+    );
+}
+
+#[test]
+fn allow_reasons_ride_along_on_covered_findings() {
+    let ctx = FileContext { path: "fixture.rs", krate: "dam-cluster", is_crate_root: false };
+    let (findings, allows) = lint_source(include_str!("../fixtures/panic_lib.rs"), ctx);
+    let covered: Vec<_> = findings.iter().filter_map(|f| f.allowed.as_deref()).collect();
+    assert_eq!(covered, vec!["fixture demonstrates a covered site", "trailing form"]);
+    assert!(allows.iter().all(|a| a.used), "both escape hatches cover live sites");
+}
+
+#[test]
+fn f32_findings_are_pinned_and_scoped_to_numeric_kernels() {
+    let src = include_str!("../fixtures/f32_use.rs");
+    assert_eq!(run(src, "dam-core"), vec![("no-f32", 5, false), ("no-f32", 6, false)]);
+    assert_eq!(run(src, "dam-fo"), vec![("no-f32", 5, false), ("no-f32", 6, false)]);
+    assert!(run(src, "dam-stream").is_empty(), "no-f32 guards only the numeric kernels");
+}
+
+#[test]
+fn malformed_allows_are_findings_and_cover_nothing() {
+    let got = run(include_str!("../fixtures/malformed_allow.rs"), "dam-cluster");
+    assert_eq!(
+        got,
+        vec![
+            ("malformed-allow", 5, false),  // missing reason
+            ("no-panic-in-lib", 6, false),  // …so the unwrap stays bare
+            ("malformed-allow", 10, false), // unknown rule name
+            ("no-panic-in-lib", 11, false),
+            ("malformed-allow", 15, false), // missing parens
+            ("no-panic-in-lib", 16, false),
+            ("malformed-allow", 20, false), // empty reason
+            ("no-panic-in-lib", 21, false),
+        ]
+    );
+}
+
+#[test]
+fn missing_forbid_unsafe_fires_only_on_crate_roots() {
+    let src = include_str!("../fixtures/no_forbid_root.rs");
+    let root = FileContext { path: "lib.rs", krate: "dam-cluster", is_crate_root: true };
+    let (findings, _) = lint_source(src, root);
+    assert_eq!(
+        findings.iter().map(|f| (f.rule, f.line)).collect::<Vec<_>>(),
+        vec![(Rule::ForbidUnsafe, 1)]
+    );
+    let module = FileContext { path: "m.rs", krate: "dam-cluster", is_crate_root: false };
+    let (findings, _) = lint_source(src, module);
+    assert!(findings.is_empty(), "non-root modules carry no crate attribute");
+}
+
+#[test]
+fn present_forbid_unsafe_satisfies_the_rule() {
+    let src = "//! Docs.\n\n#![forbid(unsafe_code)]\n\npub fn ok() {}\n";
+    let ctx = FileContext { path: "lib.rs", krate: "dam-cluster", is_crate_root: true };
+    let (findings, _) = lint_source(src, ctx);
+    assert!(findings.is_empty());
+}
+
+#[test]
+fn unused_allows_are_surfaced_but_not_fatal() {
+    let src = "// lint: allow(no-panic-in-lib, nothing here panics)\npub fn quiet() {}\n";
+    let ctx = FileContext { path: "m.rs", krate: "dam-cluster", is_crate_root: false };
+    let (findings, allows) = lint_source(src, ctx);
+    assert!(findings.is_empty(), "an unused allow is a note, not a finding");
+    assert_eq!(allows.len(), 1);
+    assert!(!allows[0].used);
+}
+
+#[test]
+fn harness_crates_keep_the_universal_rules() {
+    // dam-eval may read the clock, but it may not bypass the pool or
+    // construct entropy RNGs.
+    let spawn = run(include_str!("../fixtures/thread_spawn.rs"), "dam-eval");
+    assert_eq!(spawn.len(), 3);
+    let rng = run(include_str!("../fixtures/entropy_rng.rs"), "dam-eval");
+    assert_eq!(rng.len(), 2);
+}

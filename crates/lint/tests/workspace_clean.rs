@@ -1,0 +1,66 @@
+//! The workspace-clean gate: `cargo test -p dam-lint` runs the full
+//! static-analysis pass over the real tree and fails on any unallowed
+//! finding — the same check CI's deny-mode `cargo run -p dam-lint` step
+//! enforces, kept in the test suite so a plain `cargo test` catches
+//! regressions without the extra CI step.
+
+use dam_lint::walk::lint_workspace;
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("..").join("..")
+}
+
+#[test]
+fn the_real_tree_has_zero_unallowed_findings() {
+    let report = lint_workspace(&workspace_root()).expect("workspace scan");
+    let unallowed: Vec<String> = report
+        .unallowed()
+        .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule.name(), f.message))
+        .collect();
+    assert!(
+        unallowed.is_empty(),
+        "workspace must lint clean; unallowed findings:\n{}",
+        unallowed.join("\n")
+    );
+}
+
+#[test]
+fn the_scan_actually_covers_the_workspace() {
+    let report = lint_workspace(&workspace_root()).expect("workspace scan");
+    assert!(
+        report.files.len() >= 50,
+        "expected the walker to visit the whole tree, saw {} files",
+        report.files.len()
+    );
+    // Spot-check per-crate scoping inputs: the walker must reach every
+    // layer, including this crate (the lint dogfoods its own rules) and
+    // the umbrella's root src/.
+    for expected in [
+        "crates/core/src/lib.rs",
+        "crates/cluster/src/coord.rs",
+        "crates/lint/src/rules.rs",
+        "src/lib.rs",
+    ] {
+        assert!(report.files.iter().any(|f| f == expected), "walker never visited {expected}");
+    }
+    // And it must NOT descend into vendor shims or integration tests.
+    assert!(
+        report.files.iter().all(|f| !f.starts_with("vendor/") && !f.starts_with("tests/")),
+        "vendored shims and test trees are out of scope"
+    );
+}
+
+#[test]
+fn every_committed_allow_covers_a_live_site() {
+    let report = lint_workspace(&workspace_root()).expect("workspace scan");
+    let stale: Vec<String> = report
+        .unused_allows()
+        .map(|(file, a)| format!("{}:{}: allow({})", file, a.line, a.rule.name()))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale escape hatches must be deleted with the site they covered:\n{}",
+        stale.join("\n")
+    );
+}

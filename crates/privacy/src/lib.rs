@@ -18,6 +18,8 @@
 //!   experiment harness;
 //! * [`audit`] — numeric ε-LDP / ε-Geo-I ratio audits for any channel.
 
+#![forbid(unsafe_code)]
+
 pub mod audit;
 pub mod lp;
 

@@ -23,6 +23,8 @@
 //! The `range_queries` binary in `dam-eval` compares DAM-backed answering
 //! against the hierarchical baseline across selectivities.
 
+#![forbid(unsafe_code)]
+
 pub mod answer;
 pub mod hierarchy;
 pub mod query;

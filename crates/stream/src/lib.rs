@@ -34,6 +34,8 @@
 //! regenerates `BENCH_stream.json` (ingest throughput, warm-vs-cold EM
 //! iteration ratio, O(log T) window-query scaling).
 
+#![forbid(unsafe_code)]
+
 pub mod estimator;
 pub mod health;
 pub mod ring;

@@ -36,9 +36,8 @@
 
 use crate::health::StreamError;
 use dam_core::tuning::PARALLEL_WORK_THRESHOLD;
-use dam_geo::rng::splitmix64;
 use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 use rayon::prelude::*;
 
 /// Fixed row-chunk size for parallel plane arithmetic. A pure function of
@@ -157,6 +156,7 @@ impl CountTree {
     /// callers whose bounds are their own invariants. Callers whose `t`
     /// crosses a trust boundary use [`CountTree::try_prefix_into`].
     pub fn prefix_into(&self, t: usize, out: &mut [f64]) {
+        // lint: allow(no-panic-in-lib, panicking on caller bounds bugs is this wrapper's documented contract; try_prefix_into is the structured-error form)
         self.try_prefix_into(t, out).unwrap_or_else(|e| panic!("{e}"));
     }
 
@@ -182,6 +182,7 @@ impl CountTree {
     /// Panics on reversed or out-of-range bounds; see
     /// [`CountTree::try_window_into`] for the structured-error form.
     pub fn window_into(&self, t0: usize, t1: usize, out: &mut [f64]) {
+        // lint: allow(no-panic-in-lib, panicking on caller bounds bugs is this wrapper's documented contract; try_window_into is the structured-error form)
         self.try_window_into(t0, t1, out).unwrap_or_else(|e| panic!("{e}"));
     }
 
@@ -295,9 +296,7 @@ impl CountTree {
     /// node always realises the same noise.
     fn add_node_noise(&self, level: u64, k: u64, sign: f64, out: &mut [f64]) {
         let node_id = (level << 48) | k;
-        let mut rng = StdRng::seed_from_u64(splitmix64(
-            self.noise_seed ^ splitmix64(node_id ^ NODE_NOISE_SALT),
-        ));
+        let mut rng = dam_geo::rng::keyed(self.noise_seed, NODE_NOISE_SALT, node_id);
         for acc in out.iter_mut() {
             *acc += sign * laplace(&mut rng, self.noise_scale);
         }

@@ -18,6 +18,8 @@
 //! * [`mechanism`] — the [`mechanism::TrajectoryMechanism`] trait and the
 //!   DAM adapter that treats every trajectory point as a user report.
 
+#![forbid(unsafe_code)]
+
 pub mod ldptrace;
 pub mod mechanism;
 pub mod pivottrace;

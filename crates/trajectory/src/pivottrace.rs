@@ -95,9 +95,11 @@ impl TrajectoryMechanism for PivotTrace {
         assert!(!trajs.is_empty(), "cannot estimate from zero trajectories");
         let mut hist = Histogram2D::zeros(grid.clone());
         // Cache samplers per (cell, pivot-count) — the alias table is the
-        // dominant cost and trajectories revisit cells heavily.
-        let mut cache: std::collections::HashMap<(u32, u32, usize), AliasTable> =
-            std::collections::HashMap::new();
+        // dominant cost and trajectories revisit cells heavily. Ordered
+        // map, so any future iteration over the cache (stats, eviction)
+        // is deterministic by construction.
+        let mut cache: std::collections::BTreeMap<(u32, u32, usize), AliasTable> =
+            std::collections::BTreeMap::new();
 
         for t in trajs {
             let idx = Self::pivot_indices(t.len(), self.max_pivots);

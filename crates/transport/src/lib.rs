@@ -22,6 +22,8 @@
 //!   with a three-way size-based solver dispatch (exact LP / grid
 //!   solver / dense Sinkhorn, [`metrics::resolve_auto`]).
 
+#![forbid(unsafe_code)]
+
 pub mod cost;
 pub mod exact;
 pub mod grid;

@@ -19,6 +19,8 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
 
+#![forbid(unsafe_code)]
+
 /// Baseline mechanisms (MDSW, SEM-Geo-I, CFO).
 pub use dam_baselines as baselines;
 /// Fault-tolerant multi-node aggregation (quorum close, checkpoints).

@@ -85,6 +85,83 @@ fn state() -> &'static PoolState {
     })
 }
 
+/// Threads currently draining batch tasks (caller + joined helpers).
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+/// High-water mark of [`ACTIVE`] over the process lifetime.
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+/// `run` calls observed while the same thread was already inside `run`
+/// (debug builds only; stays 0 in release).
+static REENTRANT: AtomicUsize = AtomicUsize::new(0);
+
+#[cfg(debug_assertions)]
+thread_local! {
+    /// Per-thread pool nesting depth (inside `run` or draining a batch
+    /// as a worker), for re-entrancy detection.
+    static RUN_DEPTH: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Debug-only nesting scope: entered by `run` and by workers draining a
+/// batch, so a `run` issued from inside any pool task — on the calling
+/// thread or a helper — registers as re-entrant.
+#[cfg(debug_assertions)]
+struct DepthGuard;
+
+#[cfg(debug_assertions)]
+impl DepthGuard {
+    fn enter() -> DepthGuard {
+        RUN_DEPTH.with(|d| {
+            let depth = d.get() + 1;
+            d.set(depth);
+            if depth > 1 {
+                REENTRANT.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        DepthGuard
+    }
+}
+
+#[cfg(debug_assertions)]
+impl Drop for DepthGuard {
+    fn drop(&mut self) {
+        RUN_DEPTH.with(|d| d.set(d.get() - 1));
+    }
+}
+
+/// Marks this thread as actively draining tasks for the enclosing scope.
+struct ActiveGuard;
+
+impl ActiveGuard {
+    fn enter() -> ActiveGuard {
+        let now = ACTIVE.fetch_add(1, Ordering::Relaxed) + 1;
+        PEAK.fetch_max(now, Ordering::Relaxed);
+        ActiveGuard
+    }
+}
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Sanitizer: the highest number of threads ever observed simultaneously
+/// draining pool batches in this process. A determinism suite that just
+/// certified "bit-identical at any thread count" can assert this is `> 1`
+/// to prove the parallel path actually executed (a pool that silently
+/// degraded to sequential would pass those suites vacuously).
+pub fn max_observed_concurrency() -> usize {
+    PEAK.load(Ordering::Relaxed)
+}
+
+/// Sanitizer: how many `run` calls were made from inside another `run`
+/// on the same thread (debug builds only; always 0 in release). Nested
+/// calls are *safe* — the inner batch self-drains — but the inner call
+/// serializes on the nesting thread, so a hot path that shows up here is
+/// leaving parallelism on the table and should hoist the outer loop.
+pub fn reentrant_runs() -> usize {
+    REENTRANT.load(Ordering::Relaxed)
+}
+
 /// Claims and runs indices from `batch` until none are left, then signals
 /// completion if this thread finished the last task.
 fn execute(batch: &Batch) {
@@ -126,7 +203,12 @@ fn worker_loop() {
                 queue = st.work_cv.wait(queue).unwrap_or_else(|e| e.into_inner());
             }
         };
-        execute(&batch);
+        {
+            #[cfg(debug_assertions)]
+            let _depth = DepthGuard::enter();
+            let _active = ActiveGuard::enter();
+            execute(&batch);
+        }
         let mut queue = st.queue.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(pos) = queue.iter().position(|b| Arc::ptr_eq(b, &batch)) {
             if batch.next.load(Ordering::Relaxed) >= batch.n {
@@ -178,12 +260,20 @@ where
     if n_tasks == 0 {
         return;
     }
+    // Debug-only re-entrancy sanitizer: a `run` made from inside another
+    // pool task is recorded (never rejected — the inner batch self-drains
+    // correctly), so profiling can find hot paths that serialize on
+    // nested calls.
+    #[cfg(debug_assertions)]
+    let _depth = DepthGuard::enter();
     let threads = threads.unwrap_or_else(crate::current_num_threads).clamp(1, MAX_WORKERS);
     let helpers = threads.saturating_sub(1).min(n_tasks.saturating_sub(1));
     let fref: &(dyn Fn(usize) + Sync) = &f;
     if helpers == 0 {
         // Reference sequential path: no queue, no erasure, no catching —
-        // exactly a for loop.
+        // exactly a for loop. Still one draining thread for the
+        // concurrency high-water mark.
+        let _active = ActiveGuard::enter();
         for i in 0..n_tasks {
             fref(i);
         }
@@ -215,7 +305,10 @@ where
         ensure_workers(st, helpers);
         st.work_cv.notify_all();
     }
-    execute(&batch);
+    {
+        let _active = ActiveGuard::enter();
+        execute(&batch);
+    }
     {
         let mut guard = batch.done.lock().unwrap_or_else(|e| e.into_inner());
         while batch.remaining.load(Ordering::Acquire) > 0 {
@@ -283,6 +376,31 @@ mod tests {
             });
         });
         assert_eq!(total.load(Ordering::Relaxed), 64);
+        // The sanitizer must have seen the inner calls (debug builds);
+        // it records them, it does not reject them.
+        if cfg!(debug_assertions) {
+            assert!(reentrant_runs() >= 8, "nested run calls must be recorded");
+        }
+    }
+
+    #[test]
+    fn concurrency_high_water_mark_sees_parallel_drain() {
+        // Slow tasks on 4 requested threads: at some instant at least two
+        // threads must be draining simultaneously.
+        run(64, Some(4), |_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        assert!(
+            max_observed_concurrency() >= 2,
+            "parallel drain must register in the high-water mark, got {}",
+            max_observed_concurrency()
+        );
+    }
+
+    #[test]
+    fn sequential_path_still_counts_one_drainer() {
+        run(4, Some(1), |_| {});
+        assert!(max_observed_concurrency() >= 1);
     }
 
     #[test]

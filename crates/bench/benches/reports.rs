@@ -14,11 +14,18 @@
 //! ingest-validation path (`report_batch_validated_in`, clamp policy) on
 //! all-clean points — the per-report cost of the fault-tolerance checks,
 //! which the guard holds within ~10% of the raw sharded path.
+//!
+//! The `metered` row adds the dam-obs recording the streaming estimator
+//! performs per ingest batch (summary counters, batch-latency histogram)
+//! on top of the validated path — the observability tax, pinned at ≤5%
+//! of the raw sharded path (recording is per *batch*, not per report, so
+//! it amortizes to noise at this scale).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dam_bench::{bench_grid, bench_points};
 use dam_core::{DamClient, DamConfig, IngestPolicy};
 use dam_geo::rng::seeded;
+use dam_obs::{Plane, Registry};
 use std::hint::black_box;
 
 /// ≥ 1M simulated users, the regime the fig9 large-d binaries now run by
@@ -62,6 +69,35 @@ fn bench_report_phase(c: &mut Criterion) {
                 black_box((summary.accepted(), scratch.len()))
             });
         });
+        group.bench_with_input(BenchmarkId::new("metered", N_POINTS), &N_POINTS, |bench, _| {
+            // Exactly what StreamingEstimator::ingest_epoch_with adds on
+            // top of the validated batch: three summary counter adds, one
+            // histogram record, one gauge set.
+            let reg = Registry::new();
+            let seen = reg.counter("ingest_reports_seen", Plane::Deterministic);
+            let quarantined = reg.counter("ingest_reports_quarantined", Plane::Deterministic);
+            let clamped = reg.counter("ingest_reports_clamped", Plane::Deterministic);
+            let batch_ns = reg.histogram("ingest_batch_ns", Plane::Timing);
+            let ns_per_report = reg.gauge("ingest_ns_per_report", Plane::Timing);
+            let mut scratch = Vec::new();
+            bench.iter(|| {
+                let t0 = reg.now_ns();
+                let summary = client.report_batch_validated_in(
+                    &points,
+                    MASTER_SEED,
+                    None,
+                    IngestPolicy::Clamp,
+                    &mut scratch,
+                );
+                seen.add(summary.seen);
+                quarantined.add(summary.quarantined);
+                clamped.add(summary.clamped);
+                let dt = reg.now_ns().saturating_sub(t0);
+                batch_ns.record(dt);
+                ns_per_report.set(dt as f64 / points.len() as f64);
+                black_box((summary.accepted(), scratch.len()))
+            });
+        });
         group.finish();
     }
     emit_bench_json(c);
@@ -77,8 +113,8 @@ fn emit_bench_json(c: &Criterion) {
             .find(|(name, _)| name == &format!("reports_throughput/{path}/{N_POINTS}"))
             .map(|&(_, ns)| ns)
     };
-    let (Some(seq), Some(sharded), Some(validated)) =
-        (median("sequential"), median("sharded"), median("validated"))
+    let (Some(seq), Some(sharded), Some(validated), Some(metered)) =
+        (median("sequential"), median("sharded"), median("validated"), median("metered"))
     else {
         eprintln!("reports_throughput results missing; not writing BENCH_reports.json");
         return;
@@ -86,6 +122,11 @@ fn emit_bench_json(c: &Criterion) {
     let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
     let speedup = seq / sharded;
     let overhead = validated / sharded;
+    let metered_overhead = metered / sharded;
+    // The dam-obs pin: the recording delta on top of the validated path,
+    // as a fraction of the raw sharded batch (≤0.05 by design — recording
+    // is per batch, not per report).
+    let metering_tax = (metered - validated) / sharded;
     let json = format!(
         "{{\n  \"bench\": \"reports_throughput\",\n  \"n_points\": {N_POINTS},\n  \
          \"d\": {D},\n  \"eps\": {EPS},\n  \"threads\": {threads},\n  \"configs\": [\n    \
@@ -94,12 +135,17 @@ fn emit_bench_json(c: &Criterion) {
          {{\"path\": \"sharded\", \"median_ns_per_batch\": {sharded:.1}, \
          \"median_ns_per_report\": {:.2}}},\n    \
          {{\"path\": \"validated\", \"median_ns_per_batch\": {validated:.1}, \
+         \"median_ns_per_report\": {:.2}}},\n    \
+         {{\"path\": \"metered\", \"median_ns_per_batch\": {metered:.1}, \
          \"median_ns_per_report\": {:.2}}}\n  ],\n  \
          \"speedup_sharded_over_sequential\": {speedup:.2},\n  \
-         \"validation_overhead_vs_sharded\": {overhead:.3}\n}}\n",
+         \"validation_overhead_vs_sharded\": {overhead:.3},\n  \
+         \"metered_overhead_vs_sharded\": {metered_overhead:.3},\n  \
+         \"metering_tax_vs_sharded\": {metering_tax:.3}\n}}\n",
         seq / N_POINTS as f64,
         sharded / N_POINTS as f64,
         validated / N_POINTS as f64,
+        metered / N_POINTS as f64,
     );
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_reports.json");
     match std::fs::write(path, &json) {

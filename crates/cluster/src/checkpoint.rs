@@ -464,8 +464,9 @@ impl CheckpointStore {
 
     /// Writes a full checkpoint (write-temp-then-rename, so readers never
     /// observe a half-written file) and truncates the WAL — entries up to
-    /// the checkpoint are now redundant.
-    pub fn write_checkpoint(&self, state: &CheckpointState) -> Result<(), CheckpointError> {
+    /// the checkpoint are now redundant. Returns the encoded size in
+    /// bytes (the coordinator's `coord_checkpoint_bytes` counter).
+    pub fn write_checkpoint(&self, state: &CheckpointState) -> Result<u64, CheckpointError> {
         let tmp = self.dir.join("checkpoint.tmp");
         let bytes = state.encode();
         {
@@ -479,7 +480,7 @@ impl CheckpointStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
             Err(e) => return Err(e.into()),
         }
-        Ok(())
+        Ok(bytes.len() as u64)
     }
 
     /// Reads the checkpoint, `Ok(None)` when none has ever been written.
@@ -493,9 +494,11 @@ impl CheckpointStore {
     }
 
     /// Appends one closed epoch to the WAL (creating it, with its
-    /// header, on first append after a checkpoint).
-    pub fn append_wal(&self, entry: &WalEntry) -> Result<(), CheckpointError> {
+    /// header, on first append after a checkpoint). Returns the bytes
+    /// appended, header included (the `coord_wal_bytes` counter).
+    pub fn append_wal(&self, entry: &WalEntry) -> Result<u64, CheckpointError> {
         let path = self.wal_path();
+        let mut written = 0u64;
         let mut file = if path.exists() {
             fs::OpenOptions::new().append(true).open(&path)?
         } else {
@@ -505,13 +508,14 @@ impl CheckpointStore {
             header.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
             push_u64(&mut header, entry.plane.len() as u64);
             f.write_all(&header)?;
+            written += header.len() as u64;
             f
         };
         let mut buf = Vec::with_capacity(96 + entry.plane.len() * 8);
         entry.encode(&mut buf);
         file.write_all(&buf)?;
         file.sync_all()?;
-        Ok(())
+        Ok(written + buf.len() as u64)
     }
 
     /// Reads every WAL entry in append order (empty when no WAL exists).

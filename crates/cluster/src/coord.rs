@@ -48,6 +48,7 @@ use dam_core::validate::{sanitize_counts, IngestSummary};
 use dam_core::Pyramid;
 use dam_fault::NodeFaultPlan;
 use dam_geo::{Grid2D, Histogram2D, Point};
+use dam_obs::{Counter, Histogram, LogicalStamp, Plane, Registry, SimClock};
 use dam_stream::{Snapshot, StreamConfig, StreamingEstimator, WindowEstimate};
 use parking_lot::RwLock;
 
@@ -100,6 +101,53 @@ pub struct CoordStats {
     pub retries: u64,
 }
 
+/// Coordinator-plane instruments, registered on the estimator's shared
+/// registry so one snapshot covers collection and estimation together.
+/// Everything here is whole-tick or whole-count arithmetic on the
+/// simulated timeline, so all of it lives in the deterministic plane.
+struct CoordObs {
+    /// Transport polls issued (one per node per attempt).
+    polls: Counter,
+    /// Retry attempts spent waiting on missing planes (mirrors
+    /// [`CoordStats::retries`]).
+    retries: Counter,
+    /// Simulated-clock ticks spent inside backoff waits.
+    backoff_ticks: Counter,
+    /// Deliveries dropped by sequence-id dedup (mirrors
+    /// [`CoordStats::dup_dropped`]).
+    dup_dropped: Counter,
+    /// Epochs closed, with data or missed (mirrors
+    /// [`CoordStats::epochs_closed`]).
+    epochs_closed: Counter,
+    /// Epochs closed below quorum.
+    epochs_missed: Counter,
+    /// Arrived-node count per close — the quorum coverage distribution.
+    quorum_coverage: Histogram,
+    /// WAL entries appended.
+    wal_entries: Counter,
+    /// Bytes appended to the WAL (headers included).
+    wal_bytes: Counter,
+    /// Bytes written as full checkpoints.
+    checkpoint_bytes: Counter,
+}
+
+impl CoordObs {
+    fn register(reg: &Registry) -> Self {
+        Self {
+            polls: reg.counter("coord_polls", Plane::Deterministic),
+            retries: reg.counter("coord_retries", Plane::Deterministic),
+            backoff_ticks: reg.counter("coord_backoff_ticks", Plane::Deterministic),
+            dup_dropped: reg.counter("coord_dup_dropped", Plane::Deterministic),
+            epochs_closed: reg.counter("coord_epochs_closed", Plane::Deterministic),
+            epochs_missed: reg.counter("coord_epochs_missed", Plane::Deterministic),
+            quorum_coverage: reg.histogram("coord_quorum_coverage", Plane::Deterministic),
+            wal_entries: reg.counter("coord_wal_entries", Plane::Deterministic),
+            wal_bytes: reg.counter("coord_wal_bytes", Plane::Deterministic),
+            checkpoint_bytes: reg.counter("coord_checkpoint_bytes", Plane::Deterministic),
+        }
+    }
+}
+
 /// What one epoch close produced.
 #[derive(Debug, Clone)]
 pub struct EpochOutcome {
@@ -128,6 +176,10 @@ pub struct Coordinator {
     stats: CoordStats,
     store: Option<CheckpointStore>,
     checkpoint_every: usize,
+    obs: CoordObs,
+    /// Mirrors `clock` into the shared registry so coordinator spans
+    /// carry the *simulated* timeline, not wall or frozen time.
+    sim: Arc<SimClock>,
 }
 
 impl Coordinator {
@@ -150,9 +202,13 @@ impl Coordinator {
             warm: false,
             health: Default::default(),
         };
+        let est = StreamingEstimator::new(grid.clone(), stream);
+        let sim = Arc::new(SimClock::new());
+        est.obs().set_clock(sim.clone());
+        let obs = CoordObs::register(est.obs());
         Self {
             cluster,
-            est: StreamingEstimator::new(grid.clone(), stream),
+            est,
             grid,
             latest: RwLock::new(Arc::new(initial)),
             clock: 0,
@@ -160,6 +216,8 @@ impl Coordinator {
             stats: CoordStats::default(),
             store: None,
             checkpoint_every: 0,
+            obs,
+            sim,
         }
     }
 
@@ -219,8 +277,16 @@ impl Coordinator {
         }
         self.est.restore(&state.planes, state.reports, state.health, state.warm);
         self.clock = state.clock;
+        self.sim.set(self.clock);
         self.coverage = state.coverage.into_iter().collect();
         self.stats = state.stats;
+        // Re-seat the stats-backed counters so the registry agrees with
+        // the recovered stats (poll/backoff/byte counters are not
+        // persisted and restart from zero — they describe *this*
+        // process's work, not the crashed one's).
+        self.obs.epochs_closed.store(self.stats.epochs_closed);
+        self.obs.dup_dropped.store(self.stats.dup_dropped);
+        self.obs.retries.store(self.stats.retries);
         if self.est.epochs() > 0 {
             // The warm state IS the last published estimate (the
             // estimator stores each window's raw result as the next warm
@@ -239,7 +305,7 @@ impl Coordinator {
                 estimate,
                 em_iters: state.snapshot_em_iters as usize,
                 warm: state.snapshot_warm,
-                health: *self.est.health(),
+                health: self.est.health(),
             });
             *self.latest.write() = snapshot;
         }
@@ -265,6 +331,8 @@ impl Coordinator {
         }
         self.stats.dup_dropped += entry.dup_delta;
         self.stats.retries += entry.retries_delta;
+        self.obs.dup_dropped.add(entry.dup_delta);
+        self.obs.retries.add(entry.retries_delta);
         self.apply_close(
             entry.missed,
             entry.arrived,
@@ -274,6 +342,7 @@ impl Coordinator {
             &entry.summary,
         );
         self.clock = entry.clock_after;
+        self.sim.set(self.clock);
         Ok(())
     }
 
@@ -317,6 +386,8 @@ impl Coordinator {
         transport: &mut T,
     ) -> Result<EpochOutcome, CheckpointError> {
         let epoch = self.est.epochs();
+        self.sim.set(self.clock);
+        let span = self.est.obs().span_at("close_epoch", LogicalStamp::epoch(epoch as u64));
         let k = self.cluster.nodes;
         let mut slots: Vec<Option<NodePlane>> = (0..k).map(|_| None).collect();
         let mut arrived = 0usize;
@@ -324,6 +395,7 @@ impl Coordinator {
         let mut retries_delta = 0u64;
         let mut attempt = 0u32;
         loop {
+            self.obs.polls.add(k as u64);
             for node in 0..k {
                 for plane in transport.poll(node, self.clock) {
                     // Dedup by `(node, epoch)` sequence id: replays of
@@ -347,12 +419,15 @@ impl Coordinator {
             if arrived == k || attempt >= self.cluster.max_attempts {
                 break;
             }
-            self.clock += self.cluster.base_backoff << (attempt - 1);
+            let wait = self.cluster.base_backoff << (attempt - 1);
+            self.clock += wait;
+            self.obs.backoff_ticks.add(wait);
             retries_delta += 1;
         }
         // The close itself takes a tick, so consecutive epochs occupy
         // distinct clock ranges even when every plane arrives instantly.
         self.clock += 1;
+        self.sim.set(self.clock);
 
         let missed = arrived < self.cluster.quorum;
         let nodes_missed_delta = k - arrived;
@@ -385,6 +460,8 @@ impl Coordinator {
         }
         self.stats.dup_dropped += dup_delta;
         self.stats.retries += retries_delta;
+        self.obs.dup_dropped.add(dup_delta);
+        self.obs.retries.add(retries_delta);
         let win = self.apply_close(
             missed,
             arrived,
@@ -394,7 +471,7 @@ impl Coordinator {
             &summary,
         );
         if let Some(store) = &self.store {
-            store.append_wal(&WalEntry {
+            let appended = store.append_wal(&WalEntry {
                 epoch: epoch as u64,
                 missed,
                 arrived,
@@ -406,12 +483,16 @@ impl Coordinator {
                 summary,
                 plane,
             })?;
+            self.obs.wal_entries.incr();
+            self.obs.wal_bytes.add(appended);
             if self.checkpoint_every > 0 && self.est.epochs().is_multiple_of(self.checkpoint_every)
             {
                 let state = self.state_snapshot(&win);
-                store.write_checkpoint(&state)?;
+                let written = store.write_checkpoint(&state)?;
+                self.obs.checkpoint_bytes.add(written);
             }
         }
+        drop(span);
         Ok(EpochOutcome { epoch, arrived, missed, snapshot: self.snapshot() })
     }
 
@@ -427,11 +508,8 @@ impl Coordinator {
         plane: &[f64],
         summary: &IngestSummary,
     ) -> WindowEstimate {
-        {
-            let health = self.est.health_mut();
-            health.nodes_missed += nodes_missed_delta;
-            health.sanitized_cells += sanitized_delta;
-        }
+        self.est.note_nodes_missed(nodes_missed_delta);
+        self.est.note_sanitized_cells(sanitized_delta);
         if missed {
             self.est.ingest_missed_epoch();
         } else {
@@ -445,10 +523,15 @@ impl Coordinator {
         if self.coverage.iter().any(|&c| c < self.cluster.nodes) {
             // The multi-node reading of a partial window: some epoch in
             // the window closed below full node coverage.
-            self.est.health_mut().partial_window = true;
+            self.est.set_partial_window(true);
             win.health.partial_window = true;
         }
         self.stats.epochs_closed += 1;
+        self.obs.epochs_closed.incr();
+        if missed {
+            self.obs.epochs_missed.incr();
+        }
+        self.obs.quorum_coverage.record(arrived as u64);
         let snapshot = Arc::new(Snapshot {
             epoch: self.est.epochs(),
             pyramid: Pyramid::from_plane(win.histogram.values(), self.grid.d()),
@@ -472,7 +555,7 @@ impl Coordinator {
             planes,
             reports: self.est.reports(),
             clock: self.clock,
-            health: *self.est.health(),
+            health: self.est.health(),
             stats: self.stats,
             coverage: self.coverage.iter().copied().collect(),
             warm: self.est.warm_state().map(<[f64]>::to_vec),

@@ -133,6 +133,9 @@ fn main() {
         &["epoch", "K", "arrived", "missed", "tv_ref", "w2_ref", "tv_truth"],
     );
     let mut footers = Vec::new();
+    // Registry per K, kept after each cluster is dropped (the registry is
+    // a cheap shared handle) so --metrics-out can export all of them.
+    let mut registries: Vec<(String, dam_obs::Registry)> = Vec::new();
     for &k in &NODE_COUNTS {
         let mut cluster =
             Cluster::new(grid.clone(), stream_config(&ctx, window), ClusterConfig::new(k), plan);
@@ -161,8 +164,11 @@ fn main() {
                 fmt4(tv_truth),
             ]);
         }
-        footers
-            .push(format!("K={k} health: {}", cluster.coordinator().snapshot().health.summary()));
+        footers.push(dam_eval::obs::health_footer(
+            &format!("K={k}"),
+            &cluster.coordinator().snapshot().health,
+        ));
+        registries.push((format!("K={k}"), cluster.coordinator().estimator().obs().clone()));
     }
     println!("{}", report.render());
     // The grid-separable W₂ solver is entropically regularized: identical
@@ -271,6 +277,12 @@ fn main() {
         );
     }
 
+    if let Some(path) = &args.metrics_out {
+        let sections: Vec<(&str, &dam_obs::Registry)> =
+            registries.iter().map(|(label, reg)| (label.as_str(), reg)).collect();
+        dam_eval::obs::write_metrics(path, &sections).expect("write metrics");
+        println!("metrics: {}", path.display());
+    }
     let path = report.write_csv(&args.out, "fig_cluster").expect("write csv");
     println!("csv: {}", path.display());
 }

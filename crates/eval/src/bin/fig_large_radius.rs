@@ -66,17 +66,17 @@ fn main() {
             // Same stream per radius: every backend sees identical
             // reports, so rows differ only in the EM operator.
             let mut rng = derived(ctx.seed, 0x1A56_E000 + u64::from(b_hat));
-            let start = std::time::Instant::now();
+            let watch = dam_obs::Stopwatch::start(dam_eval::obs::wall());
             let est = DamEstimator::new(config).estimate(points, &grid, &mut rng);
-            let secs = start.elapsed().as_secs_f64();
+            let secs = watch.elapsed_secs();
             let tv = est.tv_distance(&truth);
             let tv_vs_auto = auto_est
                 .as_ref()
                 .map(|a| fmt4(est.tv_distance(a)))
                 .unwrap_or_else(|| "-".to_string());
-            let w2_start = std::time::Instant::now();
+            let w2_watch = dam_obs::Stopwatch::start(dam_eval::obs::wall());
             let w = w2(&est, &truth, w2_method).expect("W2 computation failed");
-            let w2_secs = w2_start.elapsed().as_secs_f64();
+            let w2_secs = w2_watch.elapsed_secs();
             if backend == EmBackend::Auto {
                 auto_est = Some(est);
             }

@@ -79,6 +79,9 @@ fn main() {
         grid.clone(),
         StreamConfig::new(dam, window, label_stream(ctx.seed, "SVC")),
     );
+    // Harness boundary: query/publish latency histograms get real
+    // nanoseconds (the deterministic plane is clock-free).
+    service.obs().set_clock(std::sync::Arc::new(dam_obs::WallClock::new()));
 
     let mut report = Report::new(
         &format!(
@@ -151,7 +154,11 @@ fn main() {
         100.0 * (1.0 - hio / raw)
     );
     assert!(hio < raw, "constrained hierarchy ({hio:.4}) must beat independent levels ({raw:.4})");
-    println!("service health: {}", service.health().summary());
+    println!("{}", dam_eval::obs::health_footer("service", &service.health()));
+    if let Some(path) = &args.metrics_out {
+        dam_eval::obs::write_metrics(path, &[("service", service.obs())]).expect("write metrics");
+        println!("metrics: {}", path.display());
+    }
     let path = report.write_csv(&args.out, "fig_service").expect("write csv");
     println!("csv: {}", path.display());
 }

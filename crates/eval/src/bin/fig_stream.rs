@@ -144,10 +144,14 @@ fn main() {
         .map(|&(variant, label)| {
             let dam = DamConfig { variant, em, backend: ctx.em_backend, ..DamConfig::dam(EPS) }
                 .with_threads(ctx.threads);
-            StreamingEstimator::new(
+            let stream = StreamingEstimator::new(
                 grid.clone(),
                 StreamConfig::new(dam, window, label_stream(ctx.seed, label)),
-            )
+            );
+            // Harness boundary: timing-plane instruments get real
+            // nanoseconds (the deterministic plane is clock-free).
+            stream.obs().set_clock(std::sync::Arc::new(dam_obs::WallClock::new()));
+            stream
         })
         .collect();
 
@@ -194,12 +198,12 @@ fn main() {
             }
             // Cold first: it must not touch the warm state it is the
             // baseline for.
-            let t0 = std::time::Instant::now();
+            let t0 = dam_obs::Stopwatch::start(dam_eval::obs::wall());
             let cold = stream.estimate_window_cold();
-            let secs_cold = t0.elapsed().as_secs_f64();
-            let t1 = std::time::Instant::now();
+            let secs_cold = t0.elapsed_secs();
+            let t1 = dam_obs::Stopwatch::start(dam_eval::obs::wall());
             let warm = stream.estimate_window();
-            let secs_warm = t1.elapsed().as_secs_f64();
+            let secs_warm = t1.elapsed_secs();
             let ratio = warm.em_iters as f64 / cold.em_iters.max(1) as f64;
             if warm.warm {
                 ratio_acc[m].0 += ratio;
@@ -262,8 +266,14 @@ fn main() {
     if let Some(plan) = &plan {
         println!("fault plan: {}", plan.spec());
         for (m, stream) in streams.iter().enumerate() {
-            println!("{} health: {}", variants[m].1, stream.health().summary());
+            println!("{}", dam_eval::obs::health_footer(variants[m].1, &stream.health()));
         }
+    }
+    if let Some(path) = &args.metrics_out {
+        let sections: Vec<(&str, &dam_obs::Registry)> =
+            variants.iter().zip(&streams).map(|(&(_, label), s)| (label, s.obs())).collect();
+        dam_eval::obs::write_metrics(path, &sections).expect("write metrics");
+        println!("metrics: {}", path.display());
     }
     let path = report.write_csv(&args.out, "fig_stream").expect("write csv");
     println!("csv: {}", path.display());

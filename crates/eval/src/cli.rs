@@ -50,6 +50,10 @@ pub struct CliArgs {
     /// here; the stream binaries parse it with `FaultPlan::parse` so this
     /// crate's shared CLI stays decoupled from `dam-fault`'s types.
     pub inject: Option<String>,
+    /// Where to write the run's dam-obs metrics as a JSON document
+    /// (`--metrics-out PATH`; sections keyed by pipeline label — see
+    /// [`crate::obs::write_metrics`]). `None` skips the export.
+    pub metrics_out: Option<PathBuf>,
 }
 
 impl Default for CliArgs {
@@ -68,6 +72,7 @@ impl Default for CliArgs {
             epochs: None,
             window: None,
             inject: None,
+            metrics_out: None,
         }
     }
 }
@@ -124,10 +129,11 @@ impl CliArgs {
                     out.window = Some(n);
                 }
                 "--inject" => out.inject = Some(value("--inject")),
+                "--metrics-out" => out.metrics_out = Some(PathBuf::from(value("--metrics-out"))),
                 other => panic!(
                     "unknown flag {other}; known: --repeats --users --seed --out --fast \
                      --no-calib --em-backend --dense-em --w2-solver --threads --epochs --window \
-                     --inject"
+                     --inject --metrics-out"
                 ),
             }
         }
@@ -252,6 +258,13 @@ mod tests {
     #[should_panic(expected = "--window must be at least 1")]
     fn rejects_zero_window() {
         parse("--window 0");
+    }
+
+    #[test]
+    fn metrics_out_parses_to_a_path() {
+        assert!(parse("").metrics_out.is_none());
+        let a = parse("--metrics-out /tmp/m.json");
+        assert_eq!(a.metrics_out, Some(PathBuf::from("/tmp/m.json")));
     }
 
     #[test]

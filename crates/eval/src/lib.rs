@@ -19,6 +19,9 @@
 //! --threads N   worker threads for the job runner and the sharded report
 //!               pipeline (default: available parallelism; results are
 //!               bit-identical for any value)
+//! --metrics-out PATH  write the run's dam-obs metrics registries as one
+//!               JSON document (sections keyed by pipeline label; see
+//!               README "Observability")
 //! ```
 //!
 //! Results are printed as aligned tables and written as CSV under the
@@ -30,6 +33,7 @@
 pub mod cli;
 pub mod context;
 pub mod mechspec;
+pub mod obs;
 pub mod params;
 pub mod report;
 pub mod runner;

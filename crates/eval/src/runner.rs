@@ -109,11 +109,11 @@ pub fn run_jobs(ctx: &EvalContext, jobs: &[Job], threads: Option<usize>) -> Vec<
                     break;
                 }
                 let job = &jobs[i];
-                let start = std::time::Instant::now();
+                let watch = dam_obs::Stopwatch::start(crate::obs::wall());
                 let mech = job.mech.build(job.eps, job.d, ctx);
                 let w2 = ctx.dataset_w2(job.dataset, mech.as_ref(), job.d, job_stream(job));
                 *results[i].lock() =
-                    Some(JobResult { job: job.clone(), w2, secs: start.elapsed().as_secs_f64() });
+                    Some(JobResult { job: job.clone(), w2, secs: watch.elapsed_secs() });
                 let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
                 let _guard = progress.lock();
                 eprintln!(
@@ -125,7 +125,7 @@ pub fn run_jobs(ctx: &EvalContext, jobs: &[Job], threads: Option<usize>) -> Vec<
                     job.d,
                     job.eps,
                     w2,
-                    start.elapsed().as_secs_f64()
+                    watch.elapsed_secs()
                 );
             });
         }

@@ -45,6 +45,9 @@ pub struct EmWorkspace {
     tainted_handoffs: usize,
     /// Stage label of the first tainted handoff.
     first_taint: Option<&'static str>,
+    /// Per-iteration log-likelihood gain sink (the discrepancy-stop
+    /// residual trace); wired by the streaming estimator.
+    ll_trace: Option<dam_obs::Trace>,
 }
 
 impl EmWorkspace {
@@ -97,6 +100,20 @@ impl EmWorkspace {
     /// Stage label of the first tainted handoff, if any.
     pub fn first_taint(&self) -> Option<&'static str> {
         self.first_taint
+    }
+
+    /// Wires a [`dam_obs::Trace`] to receive the per-report
+    /// log-likelihood gain of every EM iteration run through this
+    /// workspace. The trace is the raw material for a future
+    /// discrepancy-principle stopping rule; recording is sequential
+    /// (the EM loop is single-threaded), so the trace is deterministic.
+    pub fn set_ll_trace(&mut self, trace: dam_obs::Trace) {
+        self.ll_trace = Some(trace);
+    }
+
+    /// Detaches the ll-gain trace, if any.
+    pub fn clear_ll_trace(&mut self) {
+        self.ll_trace = None;
     }
 }
 
@@ -489,6 +506,9 @@ pub fn expectation_maximization_warm<C: ChannelOp + ?Sized>(
 
         if prev_ll.is_finite() {
             let gain = (ll - prev_ll).abs();
+            if let Some(trace) = ws.ll_trace.as_ref() {
+                trace.push(gain / n_total);
+            }
             if gain / prev_ll.abs().max(1e-12) < params.rel_tol {
                 break;
             }

@@ -1,0 +1,24 @@
+//! obs-clock-only fixture: wall-clock sites in harness code, lines pinned.
+
+use std::time::Instant;
+
+pub fn measure() -> f64 {
+    let t0 = Instant::now();
+    // Instant in a comment is not a finding.
+    t0.elapsed().as_secs_f64()
+}
+
+// lint: allow(obs-clock-only, pinned fixture: a signature-level allow covers both tokens on the covered line)
+pub fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::SystemTime;
+
+    #[test]
+    fn wall_clock_in_tests_is_legal() {
+        let _ = SystemTime::now();
+    }
+}

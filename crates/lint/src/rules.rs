@@ -16,6 +16,13 @@ pub enum Rule {
     /// harness: the cluster coordinator's simulated clock is the only
     /// clock (PR 8's replay bit-identity depends on it).
     NoWallClock,
+    /// No raw `Instant` / `SystemTime` / `std::time` even in the
+    /// harness crates: wall time enters through `dam_obs::Clock`
+    /// (`WallClock` at the harness boundary, `Stopwatch` for elapsed
+    /// measurements), so every timing is routable to the obs timing
+    /// plane and the sanctioned surface stays `dam-obs::clock`'s one
+    /// reasoned allow (PR 10).
+    ObsClockOnly,
     /// No iteration over `HashMap` / `HashSet` in deterministic crates:
     /// iteration order is randomized per process, so any merge or
     /// accumulation path riding it breaks bit-identity (PR 2's
@@ -50,8 +57,9 @@ pub enum Rule {
 
 /// Every real rule, in report order ([`Rule::MalformedAllow`] included —
 /// it is a finding like any other).
-pub const ALL_RULES: [Rule; 8] = [
+pub const ALL_RULES: [Rule; 9] = [
     Rule::NoWallClock,
+    Rule::ObsClockOnly,
     Rule::NoUnorderedIteration,
     Rule::NoThreadSpawn,
     Rule::NoEntropyRng,
@@ -66,6 +74,7 @@ impl Rule {
     pub fn name(self) -> &'static str {
         match self {
             Rule::NoWallClock => "no-wall-clock",
+            Rule::ObsClockOnly => "obs-clock-only",
             Rule::NoUnorderedIteration => "no-unordered-iteration",
             Rule::NoThreadSpawn => "no-thread-spawn",
             Rule::NoEntropyRng => "no-entropy-rng",
@@ -93,6 +102,11 @@ impl Rule {
         let harness = matches!(krate, "dam-eval" | "dam-bench");
         match self {
             Rule::NoWallClock | Rule::NoUnorderedIteration | Rule::NoPanicInLib => !harness,
+            // Complement of no-wall-clock: the harness crates migrated
+            // onto dam_obs::Clock in PR 10, so raw wall-clock types are
+            // now forbidden there too (one rule per crate, two rules
+            // never both fire on a site).
+            Rule::ObsClockOnly => harness,
             Rule::NoThreadSpawn
             | Rule::NoEntropyRng
             | Rule::ForbidUnsafe
@@ -162,6 +176,9 @@ pub fn lint_source(src: &str, ctx: FileContext<'_>) -> (Vec<Finding>, Vec<Allow>
 
     if Rule::NoWallClock.applies_to(ctx.krate) {
         scan.wall_clock(&mut findings);
+    }
+    if Rule::ObsClockOnly.applies_to(ctx.krate) {
+        scan.obs_clock_only(&mut findings);
     }
     if Rule::NoUnorderedIteration.applies_to(ctx.krate) {
         scan.unordered_iteration(&mut findings);
@@ -454,6 +471,36 @@ impl Scan<'_> {
                         Rule::NoWallClock,
                         ci,
                         "`std::time`: wall-clock time is forbidden outside dam-eval/dam-bench".to_string(),
+                    )
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// `obs-clock-only`: the same wall-clock surface as
+    /// [`Scan::wall_clock`], but scoped to the harness crates — raw
+    /// `Instant`/`SystemTime` is forbidden there too; elapsed time goes
+    /// through `dam_obs::{WallClock, Stopwatch}`.
+    fn obs_clock_only(&self, out: &mut Vec<Finding>) {
+        for ci in 0..self.code.len() {
+            match self.ident(ci) {
+                Some(name @ ("Instant" | "SystemTime")) => self.emit(
+                    out,
+                    Rule::ObsClockOnly,
+                    ci,
+                    format!("`{name}`: raw wall-clock types are forbidden even in the harness; measure through dam_obs::{{WallClock, Stopwatch}} so timings land on the obs timing plane"),
+                ),
+                Some("time")
+                    if ci >= 3
+                        && self.path_sep(ci - 2)
+                        && self.ident(ci - 3) == Some("std") =>
+                {
+                    self.emit(
+                        out,
+                        Rule::ObsClockOnly,
+                        ci,
+                        "`std::time`: harness timing goes through dam_obs::Clock, not std::time".to_string(),
                     )
                 }
                 _ => {}

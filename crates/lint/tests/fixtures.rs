@@ -27,10 +27,45 @@ fn wall_clock_findings_are_pinned() {
 }
 
 #[test]
-fn wall_clock_is_legal_in_the_harness_crates() {
+fn harness_crates_swap_no_wall_clock_for_obs_clock_only() {
+    // Since PR 10 the harness is not exempt from wall-clock scanning:
+    // the same sites fire `obs-clock-only` instead of `no-wall-clock`
+    // (exactly one of the two rules applies per crate).
     let src = include_str!("../fixtures/wall_clock.rs");
-    assert!(run(src, "dam-eval").is_empty());
-    assert!(run(src, "dam-bench").is_empty());
+    for krate in ["dam-eval", "dam-bench"] {
+        assert_eq!(
+            run(src, krate),
+            vec![
+                ("obs-clock-only", 3, false),
+                ("obs-clock-only", 3, false),
+                ("obs-clock-only", 6, false),
+            ],
+            "{krate} must fire obs-clock-only on raw wall-clock sites"
+        );
+    }
+}
+
+#[test]
+fn obs_clock_only_findings_are_pinned() {
+    let src = include_str!("../fixtures/obs_clock.rs");
+    assert_eq!(
+        run(src, "dam-eval"),
+        vec![
+            ("obs-clock-only", 3, false),  // `std::time` in the use path
+            ("obs-clock-only", 3, false),  // `Instant` in the same import
+            ("obs-clock-only", 6, false),  // `Instant::now()`
+            ("obs-clock-only", 12, true),  // allowed: std::time in the signature
+            ("obs-clock-only", 12, true),  // allowed: SystemTime in the signature
+            ("obs-clock-only", 13, false), // body line is past the allow's span
+            ("obs-clock-only", 13, false),
+        ],
+        "comment mentions and #[cfg(test)] sites must not fire; the allow covers only the signature line"
+    );
+    // Outside the harness the same file is a no-wall-clock matter; the
+    // obs-clock-only allow covers nothing there.
+    let cluster: Vec<&str> = run(src, "dam-cluster").iter().map(|(rule, _, _)| *rule).collect();
+    assert!(cluster.iter().all(|r| *r == "no-wall-clock"));
+    assert_eq!(cluster.len(), 7);
 }
 
 #[test]

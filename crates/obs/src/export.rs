@@ -1,0 +1,340 @@
+//! Exposition: canonical deterministic-plane text, JSON, a
+//! Prometheus-style text format, and the aggregated span tree.
+//!
+//! All four render from a [`MetricsSnapshot`], whose vectors are sorted
+//! by name at capture time — every format is byte-stable given equal
+//! instrument state. [`MetricsSnapshot::deterministic_plane`] is the
+//! pinned artifact: it contains only [`Plane::Deterministic`]
+//! instruments, renders `f64`s by their IEEE bits, and is asserted
+//! bit-identical across thread counts by the workspace tests.
+
+use crate::metrics::Plane;
+use crate::span::LogicalStamp;
+use std::fmt::Write as _;
+
+/// A histogram's merged state: populated log₂ buckets only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Number of recorded samples.
+    pub count: u64,
+    /// Sum of recorded samples (wrapping).
+    pub sum: u64,
+    /// `(bucket_index, count)` for non-empty buckets, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+/// One span path's aggregate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanAggregate {
+    /// Slash-joined nesting path (`publish/em`).
+    pub path: String,
+    /// Times the span closed.
+    pub count: u64,
+    /// Total clock time inside the span.
+    pub total_ns: u64,
+    /// Total minus time inside child spans.
+    pub self_ns: u64,
+    /// Logical stamp of the most recent closure.
+    pub last: LogicalStamp,
+}
+
+/// A point-in-time capture of every instrument in a registry, sorted
+/// by name.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// `(name, plane, merged value)`.
+    pub counters: Vec<(String, Plane, u64)>,
+    /// `(name, plane, last value)`.
+    pub gauges: Vec<(String, Plane, f64)>,
+    /// `(name, plane, merged buckets)`.
+    pub histograms: Vec<(String, Plane, HistogramSnapshot)>,
+    /// `(name, retained samples oldest-first)`.
+    pub traces: Vec<(String, Vec<f64>)>,
+    /// Aggregated spans, sorted by path.
+    pub spans: Vec<SpanAggregate>,
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl MetricsSnapshot {
+    /// The canonical deterministic-plane exposition — the string the
+    /// bit-identity tests pin. Timing-plane instruments and span times
+    /// are excluded by construction; `f64`s render as IEEE bit
+    /// patterns so equality is exact, not print-rounded.
+    pub fn deterministic_plane(&self) -> String {
+        let mut out = String::new();
+        for (name, plane, v) in &self.counters {
+            if *plane == Plane::Deterministic {
+                let _ = writeln!(out, "counter {name} {v}");
+            }
+        }
+        for (name, plane, v) in &self.gauges {
+            if *plane == Plane::Deterministic {
+                let _ = writeln!(out, "gauge {name} {:016x}", v.to_bits());
+            }
+        }
+        for (name, plane, h) in &self.histograms {
+            if *plane == Plane::Deterministic {
+                let _ = write!(out, "hist {name} count={} sum={} buckets=", h.count, h.sum);
+                for (i, (b, n)) in h.buckets.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "{b}:{n}");
+                }
+                out.push('\n');
+            }
+        }
+        for (name, samples) in &self.traces {
+            let _ = write!(out, "trace {name} ");
+            for (i, s) in samples.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{:016x}", s.to_bits());
+            }
+            out.push('\n');
+        }
+        // Span *counts* are deterministic; span times are not.
+        for s in &self.spans {
+            let _ = writeln!(out, "span {} count={}", s.path, s.count);
+        }
+        out
+    }
+
+    /// JSON exposition (both planes, plane-tagged), hand-rolled so the
+    /// workspace stays dependency-free.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        for (i, (name, plane, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"plane\": \"{}\", \"value\": {v}}}",
+                json_escape(name),
+                plane.label()
+            );
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (name, plane, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"plane\": \"{}\", \"value\": {}}}",
+                json_escape(name),
+                plane.label(),
+                json_f64(*v)
+            );
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (name, plane, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    \"{}\": {{\"plane\": \"{}\", \"count\": {}, \"sum\": {}, \"buckets\": {{",
+                json_escape(name),
+                plane.label(),
+                h.count,
+                h.sum
+            );
+            for (j, (b, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "\"{b}\": {n}");
+            }
+            out.push_str("}}");
+        }
+        out.push_str("\n  },\n  \"traces\": {");
+        for (i, (name, samples)) in self.traces.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\n    \"{}\": [", json_escape(name));
+            for (j, s) in samples.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_f64(*s));
+            }
+            out.push(']');
+        }
+        out.push_str("\n  },\n  \"spans\": [");
+        for (i, s) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\n    {{\"path\": \"{}\", \"count\": {}, \"total_ns\": {}, \"self_ns\": {}, \"last\": {{\"epoch\": {}, \"window\": {}, \"iteration\": {}}}}}",
+                json_escape(&s.path),
+                s.count,
+                s.total_ns,
+                s.self_ns,
+                s.last.epoch,
+                s.last.window,
+                s.last.iteration
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Prometheus-style text exposition (counters, gauges, and
+    /// cumulative-bucket histograms with power-of-two `le` bounds).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, plane, v) in &self.counters {
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name}{{plane=\"{}\"}} {v}", plane.label());
+        }
+        for (name, plane, v) in &self.gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name}{{plane=\"{}\"}} {}", plane.label(), json_f64(*v));
+        }
+        for (name, plane, h) in &self.histograms {
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cum = 0u64;
+            for (b, n) in &h.buckets {
+                cum += n;
+                // Bucket `b` holds samples < 2^b (bucket 0 holds zeros).
+                let le = if *b == 0 { 1.0 } else { 2f64.powi(*b as i32) };
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{plane=\"{}\",le=\"{}\"}} {cum}",
+                    plane.label(),
+                    json_f64(le)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_bucket{{plane=\"{}\",le=\"+Inf\"}} {}",
+                plane.label(),
+                h.count
+            );
+            let _ = writeln!(out, "{name}_sum{{plane=\"{}\"}} {}", plane.label(), h.sum);
+            let _ = writeln!(out, "{name}_count{{plane=\"{}\"}} {}", plane.label(), h.count);
+        }
+        out
+    }
+
+    /// The aggregated span tree: one line per path, indented by depth,
+    /// with call count and total/self time — the profiling dump.
+    pub fn span_tree(&self) -> String {
+        let mut out = String::new();
+        for s in &self.spans {
+            let depth = s.path.matches('/').count();
+            let name = s.path.rsplit('/').next().unwrap_or(&s.path);
+            let _ = writeln!(
+                out,
+                "{:indent$}{name}  count={} total={}ns self={}ns (epoch {}, window {}, iter {})",
+                "",
+                s.count,
+                s.total_ns,
+                s.self_ns,
+                s.last.epoch,
+                s.last.window,
+                s.last.iteration,
+                indent = depth * 2
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::{Plane, Registry};
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter("reports_seen", Plane::Deterministic).add(5);
+        r.gauge("ns_per_report", Plane::Timing).set(12.5);
+        r.gauge("window_partial", Plane::Deterministic).set(1.0);
+        r.histogram("em_iterations", Plane::Deterministic).record(6);
+        r.trace("em_ll_gain", 8).push(0.25);
+        {
+            let _s = r.span("ingest");
+        }
+        r
+    }
+
+    #[test]
+    fn deterministic_plane_excludes_timing_instruments() {
+        let det = sample_registry().snapshot().deterministic_plane();
+        assert!(det.contains("counter reports_seen 5"));
+        assert!(det.contains("gauge window_partial"));
+        assert!(!det.contains("ns_per_report"));
+        assert!(det.contains("span ingest count=1"));
+        assert!(!det.contains("total_ns"));
+        // f64 pinning is bit-exact, not print-rounded.
+        assert!(det.contains(&format!("{:016x}", 0.25f64.to_bits())));
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_pin() {
+        let json = sample_registry().snapshot().to_json();
+        assert!(json.contains("\"reports_seen\": {\"plane\": \"det\", \"value\": 5}"));
+        assert!(json.contains("\"ns_per_report\": {\"plane\": \"timing\", \"value\": 12.5}"));
+        assert!(json.contains("\"em_ll_gain\": [0.25]"));
+        assert!(json.contains("\"path\": \"ingest\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn prometheus_histogram_buckets_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("lat", Plane::Timing);
+        h.record(1);
+        h.record(3);
+        h.record(3);
+        let prom = r.snapshot().to_prometheus();
+        assert!(prom.contains("# TYPE lat histogram"));
+        assert!(prom.contains("lat_bucket{plane=\"timing\",le=\"2.0\"} 1"));
+        assert!(prom.contains("lat_bucket{plane=\"timing\",le=\"4.0\"} 3"));
+        assert!(prom.contains("lat_bucket{plane=\"timing\",le=\"+Inf\"} 3"));
+        assert!(prom.contains("lat_sum{plane=\"timing\"} 7"));
+        assert!(prom.contains("lat_count{plane=\"timing\"} 3"));
+    }
+
+    #[test]
+    fn span_tree_indents_children() {
+        let r = Registry::new();
+        {
+            let _a = r.span("publish");
+            let _b = r.span("em");
+        }
+        let tree = r.snapshot().span_tree();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[0].starts_with("publish"));
+        assert!(lines[1].starts_with("  em"));
+    }
+}

@@ -38,7 +38,7 @@
 //! and therefore every window estimate — is bit-identical for any
 //! `threads` value (the crate's determinism suite pins it end to end).
 
-use crate::health::PipelineHealth;
+use crate::health::{names, PipelineHealth};
 use crate::ring::EpochRing;
 use crate::tree::CountTree;
 use dam_core::em2d::smooth_2d;
@@ -47,6 +47,7 @@ use dam_core::{DamClient, DamConfig, EmOperator};
 use dam_fo::em::{EmParams, EmWorkspace};
 use dam_geo::rng::splitmix64;
 use dam_geo::{Grid2D, Histogram2D, Point};
+use dam_obs::{Counter, Gauge, Histogram, LogicalStamp, Plane, Registry};
 
 /// Salt separating per-epoch report streams from every other derived
 /// stream in the workspace.
@@ -131,6 +132,53 @@ pub struct WindowEstimate {
     pub health: PipelineHealth,
 }
 
+/// The estimator's registered obs handles: health counters (the source
+/// of truth behind the [`PipelineHealth`] view) plus the instrumentation
+/// only the registry carries (iteration histograms, ingest timing).
+struct ObsHandles {
+    seen: Counter,
+    quarantined: Counter,
+    clamped: Counter,
+    epochs_ingested: Counter,
+    epochs_missed: Counter,
+    sanitized_cells: Counter,
+    em_reseeds: Counter,
+    degenerate_windows: Counter,
+    backend_fallbacks: Counter,
+    nodes_missed: Counter,
+    partial_window: Gauge,
+    em_runs: Counter,
+    em_iters_total: Counter,
+    em_iters: Histogram,
+    ingest_batch_ns: Histogram,
+    ns_per_report: Gauge,
+}
+
+impl ObsHandles {
+    fn register(reg: &Registry) -> Self {
+        let det = Plane::Deterministic;
+        let timing = Plane::Timing;
+        Self {
+            seen: reg.counter(names::REPORTS_SEEN, det),
+            quarantined: reg.counter(names::REPORTS_QUARANTINED, det),
+            clamped: reg.counter(names::REPORTS_CLAMPED, det),
+            epochs_ingested: reg.counter(names::EPOCHS_INGESTED, det),
+            epochs_missed: reg.counter(names::EPOCHS_MISSED, det),
+            sanitized_cells: reg.counter(names::SANITIZED_CELLS, det),
+            em_reseeds: reg.counter(names::EM_RESEEDS, det),
+            degenerate_windows: reg.counter(names::DEGENERATE_WINDOWS, det),
+            backend_fallbacks: reg.counter(names::BACKEND_FALLBACKS, det),
+            nodes_missed: reg.counter(names::NODES_MISSED, det),
+            partial_window: reg.gauge(names::PARTIAL_WINDOW, det),
+            em_runs: reg.counter("em_runs", det),
+            em_iters_total: reg.counter("em_iterations_total", det),
+            em_iters: reg.histogram("em_iterations", det),
+            ingest_batch_ns: reg.histogram("ingest_batch_ns", timing),
+            ns_per_report: reg.gauge("ingest_ns_per_report", timing),
+        }
+    }
+}
+
 /// Continual-observation wrapper around the SAM pipeline: ingest
 /// timestamped report batches epoch by epoch, read a sliding-window
 /// estimate at any time.
@@ -146,18 +194,37 @@ pub struct StreamingEstimator {
     prev: Option<Vec<f64>>,
     epochs: usize,
     reports: u64,
-    health: PipelineHealth,
+    obs: Registry,
+    hh: ObsHandles,
 }
 
 impl StreamingEstimator {
     /// Builds the pipeline for an input grid (kernel, EM operator and
-    /// buffers are constructed here, once).
+    /// buffers are constructed here, once) with a private obs registry.
     pub fn new(grid: Grid2D, config: StreamConfig) -> Self {
+        Self::with_registry(grid, config, Registry::new())
+    }
+
+    /// [`StreamingEstimator::new`] recording into a caller-supplied
+    /// registry (the harness's seam for wall-clocked registries and for
+    /// sharing one registry across service + coordinator layers).
+    pub fn with_registry(grid: Grid2D, config: StreamConfig, obs: Registry) -> Self {
         assert!(config.window > 0, "window must hold at least one epoch");
         let client = DamClient::new(grid.clone(), &config.dam);
         let operator = EmOperator::new(client.kernel(), config.dam.backend);
         let n_out = client.kernel().n_out();
         let tree_seed = splitmix64(config.seed ^ EPOCH_SALT);
+        let hh = ObsHandles::register(&obs);
+        // Which EM backend the operator actually resolved to (auto picks
+        // stencil vs FFT from the measured crossover).
+        obs.counter(
+            &format!("em_backend_selected_{}", operator.resolved().label()),
+            Plane::Deterministic,
+        )
+        .incr();
+        let mut ws = EmWorkspace::new();
+        // Per-iteration ll-gain residuals (discrepancy-stop raw material).
+        ws.set_ll_trace(obs.trace("em_ll_gain", 512));
         Self {
             client,
             operator,
@@ -165,11 +232,12 @@ impl StreamingEstimator {
             ring: EpochRing::new(n_out, config.window),
             tree: CountTree::new(n_out, config.noise_scale, tree_seed, config.dam.threads),
             scratch: Vec::new(),
-            ws: EmWorkspace::new(),
+            ws,
             prev: None,
             epochs: 0,
             reports: 0,
-            health: PipelineHealth::default(),
+            obs,
+            hh,
             config,
         }
     }
@@ -220,10 +288,17 @@ impl StreamingEstimator {
         splitmix64(seed ^ splitmix64(epoch as u64 ^ EPOCH_SALT))
     }
 
-    /// Running fault/degradation telemetry since construction.
+    /// Running fault/degradation telemetry since construction — a view
+    /// materialised from the obs registry's health counters.
+    pub fn health(&self) -> PipelineHealth {
+        PipelineHealth::from_registry(&self.obs)
+    }
+
+    /// The pipeline's obs registry (health counters, EM iteration
+    /// histograms, the ll-gain trace, ingest timing, spans).
     #[inline]
-    pub fn health(&self) -> &PipelineHealth {
-        &self.health
+    pub fn obs(&self) -> &Registry {
+        &self.obs
     }
 
     /// Ingests one epoch's points: **validates** every report against the
@@ -264,6 +339,8 @@ impl StreamingEstimator {
     where
         F: FnOnce(usize, &mut [f64]),
     {
+        let _span = self.obs.span_at("ingest", LogicalStamp::epoch(self.epochs as u64));
+        let t0 = self.obs.now_ns();
         let seed = Self::epoch_seed(self.config.seed, self.epochs);
         let summary = self.client.report_batch_validated_in(
             points,
@@ -272,13 +349,20 @@ impl StreamingEstimator {
             self.config.policy,
             &mut self.scratch,
         );
-        self.health.ingest.merge(&summary);
+        self.hh.seen.add(summary.seen);
+        self.hh.quarantined.add(summary.quarantined);
+        self.hh.clamped.add(summary.clamped);
         tamper(self.epochs, &mut self.scratch);
-        self.health.sanitized_cells += sanitize_counts(&mut self.scratch);
+        self.hh.sanitized_cells.add(sanitize_counts(&mut self.scratch) as u64);
         self.ring.push(&self.scratch);
         self.tree.append(&self.scratch);
         self.reports += points.len() as u64;
-        self.health.epochs_ingested += 1;
+        self.hh.epochs_ingested.incr();
+        let dt = self.obs.now_ns().saturating_sub(t0);
+        self.hh.ingest_batch_ns.record(dt);
+        if !points.is_empty() {
+            self.hh.ns_per_report.set(dt as f64 / points.len() as f64);
+        }
         let epoch = self.epochs;
         self.epochs += 1;
         epoch
@@ -300,14 +384,17 @@ impl StreamingEstimator {
         summary: &dam_core::validate::IngestSummary,
     ) -> usize {
         assert_eq!(plane.len(), self.client.kernel().n_out(), "plane does not match pipeline");
+        let _span = self.obs.span_at("ingest_plane", LogicalStamp::epoch(self.epochs as u64));
         self.scratch.clear();
         self.scratch.extend_from_slice(plane);
-        self.health.ingest.merge(summary);
-        self.health.sanitized_cells += sanitize_counts(&mut self.scratch);
+        self.hh.seen.add(summary.seen);
+        self.hh.quarantined.add(summary.quarantined);
+        self.hh.clamped.add(summary.clamped);
+        self.hh.sanitized_cells.add(sanitize_counts(&mut self.scratch) as u64);
         self.ring.push(&self.scratch);
         self.tree.append(&self.scratch);
         self.reports += summary.seen;
-        self.health.epochs_ingested += 1;
+        self.hh.epochs_ingested.incr();
         let epoch = self.epochs;
         self.epochs += 1;
         epoch
@@ -324,7 +411,7 @@ impl StreamingEstimator {
         self.scratch.resize(n, 0.0);
         self.ring.push(&self.scratch);
         self.tree.append(&self.scratch);
-        self.health.epochs_missed += 1;
+        self.hh.epochs_missed.incr();
         let epoch = self.epochs;
         self.epochs += 1;
         epoch
@@ -385,11 +472,25 @@ impl StreamingEstimator {
         self.prev.as_deref()
     }
 
-    /// Mutable running health — the multi-node coordinator's seam for
-    /// the counters only it can know (`nodes_missed`, window coverage).
+    /// Multi-node coordinator seam: records node planes that never
+    /// arrived before a quorum close.
     #[inline]
-    pub fn health_mut(&mut self) -> &mut PipelineHealth {
-        &mut self.health
+    pub fn note_nodes_missed(&self, n: usize) {
+        self.hh.nodes_missed.add(n as u64);
+    }
+
+    /// Multi-node coordinator seam: records count-plane cells the
+    /// coordinator sanitized before the merge.
+    #[inline]
+    pub fn note_sanitized_cells(&self, n: usize) {
+        self.hh.sanitized_cells.add(n as u64);
+    }
+
+    /// Multi-node coordinator seam: overrides the partial-window flag
+    /// (e.g. an epoch in the window closed below full node coverage).
+    #[inline]
+    pub fn set_partial_window(&self, partial: bool) {
+        self.hh.partial_window.set(if partial { 1.0 } else { 0.0 });
     }
 
     /// Rebuilds a **fresh** estimator's retained state from a
@@ -417,26 +518,34 @@ impl StreamingEstimator {
         }
         self.epochs = planes.len();
         self.reports = reports;
-        self.health = health;
+        health.store_into(&self.obs);
         self.prev = warm;
     }
 
     fn run_em(&mut self, init: Option<&[f64]>) -> WindowEstimate {
+        let _span = self.obs.span_at(
+            "em_window",
+            LogicalStamp {
+                epoch: self.epochs as u64,
+                window: self.ring.len() as u64,
+                iteration: 0,
+            },
+        );
         // A stream younger than the window covers fewer epochs than
         // configured: still a well-defined estimate (the ring sums what
         // it holds), but flagged so consumers know the evidence is thin.
-        self.health.partial_window = self.ring.len() < self.ring.window();
+        self.hh.partial_window.set(if self.ring.len() < self.ring.window() { 1.0 } else { 0.0 });
         let counts = self.ring.window_counts();
         if counts.iter().sum::<f64>() <= 0.0 {
             // An empty window carries no information; degrade to uniform.
-            self.health.degenerate_windows += 1;
+            self.hh.degenerate_windows.incr();
             let n = self.grid.n_cells();
             let uniform = Histogram2D::from_values(self.grid.clone(), vec![1.0 / n as f64; n]);
             return WindowEstimate {
                 histogram: uniform,
                 em_iters: 0,
                 warm: init.is_some(),
-                health: self.health,
+                health: self.health(),
             };
         }
         let warm = init.is_some();
@@ -449,18 +558,21 @@ impl StreamingEstimator {
             init,
             &mut self.ws,
         );
-        self.health.em_reseeds += outcome.em_health.reseeds;
+        self.hh.em_runs.incr();
+        self.hh.em_iters_total.add(outcome.em_iters as u64);
+        self.hh.em_iters.record(outcome.em_iters as u64);
+        self.hh.em_reseeds.add(outcome.em_health.reseeds as u64);
         if outcome.em_health.degenerate_input {
-            self.health.degenerate_windows += 1;
+            self.hh.degenerate_windows.incr();
         }
         if outcome.backend_fallback {
-            self.health.backend_fallbacks += 1;
+            self.hh.backend_fallbacks.incr();
         }
         WindowEstimate {
             histogram: outcome.histogram,
             em_iters: outcome.em_iters,
             warm,
-            health: self.health,
+            health: self.health(),
         }
     }
 }

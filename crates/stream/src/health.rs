@@ -16,6 +16,36 @@
 //! whose `t` comes from outside the process.
 
 use dam_core::validate::IngestSummary;
+use dam_obs::{Plane, Registry};
+
+/// Registry metric names of the health counters — the deterministic
+/// plane's health subset. Since PR 10, [`PipelineHealth`] is a *view*
+/// materialised from these ([`PipelineHealth::from_registry`]); the
+/// estimator's handles are the single source of truth.
+pub mod names {
+    /// Reports presented to validated ingest.
+    pub const REPORTS_SEEN: &str = "ingest_reports_seen";
+    /// Reports quarantined (never ingested).
+    pub const REPORTS_QUARANTINED: &str = "ingest_reports_quarantined";
+    /// Reports clamped onto the domain boundary.
+    pub const REPORTS_CLAMPED: &str = "ingest_reports_clamped";
+    /// Epochs that ingested a report batch.
+    pub const EPOCHS_INGESTED: &str = "ingest_epochs";
+    /// Epochs recorded as missed.
+    pub const EPOCHS_MISSED: &str = "ingest_epochs_missed";
+    /// Count-plane cells zeroed at ingest.
+    pub const SANITIZED_CELLS: &str = "ingest_sanitized_cells";
+    /// EM divergence re-seeds across all windows.
+    pub const EM_RESEEDS: &str = "em_reseeds";
+    /// Windows degraded to uniform.
+    pub const DEGENERATE_WINDOWS: &str = "em_degenerate_windows";
+    /// FFT→stencil PostProcess redos.
+    pub const BACKEND_FALLBACKS: &str = "em_backend_fallbacks";
+    /// Node planes missing at quorum close, summed over epochs.
+    pub const NODES_MISSED: &str = "cluster_nodes_missed";
+    /// 1.0 while the most recent estimate was partial, else 0.0.
+    pub const PARTIAL_WINDOW: &str = "window_partial";
+}
 
 /// A window/prefix query that cannot be answered as posed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,6 +125,44 @@ pub struct PipelineHealth {
 }
 
 impl PipelineHealth {
+    /// Materialises the health view from a pipeline's obs registry
+    /// (all-zero for counters that were never registered).
+    pub fn from_registry(reg: &Registry) -> Self {
+        Self {
+            ingest: IngestSummary {
+                seen: reg.counter_value(names::REPORTS_SEEN),
+                quarantined: reg.counter_value(names::REPORTS_QUARANTINED),
+                clamped: reg.counter_value(names::REPORTS_CLAMPED),
+            },
+            epochs_ingested: reg.counter_value(names::EPOCHS_INGESTED) as usize,
+            epochs_missed: reg.counter_value(names::EPOCHS_MISSED) as usize,
+            sanitized_cells: reg.counter_value(names::SANITIZED_CELLS) as usize,
+            em_reseeds: reg.counter_value(names::EM_RESEEDS) as usize,
+            degenerate_windows: reg.counter_value(names::DEGENERATE_WINDOWS) as usize,
+            backend_fallbacks: reg.counter_value(names::BACKEND_FALLBACKS) as usize,
+            nodes_missed: reg.counter_value(names::NODES_MISSED) as usize,
+            partial_window: reg.gauge_value(names::PARTIAL_WINDOW) != 0.0,
+        }
+    }
+
+    /// Writes this record wholesale into a registry's health counters —
+    /// the checkpoint-restore path (sequential by contract, like
+    /// [`dam_obs::Counter::store`]).
+    pub fn store_into(&self, reg: &Registry) {
+        let det = Plane::Deterministic;
+        reg.counter(names::REPORTS_SEEN, det).store(self.ingest.seen);
+        reg.counter(names::REPORTS_QUARANTINED, det).store(self.ingest.quarantined);
+        reg.counter(names::REPORTS_CLAMPED, det).store(self.ingest.clamped);
+        reg.counter(names::EPOCHS_INGESTED, det).store(self.epochs_ingested as u64);
+        reg.counter(names::EPOCHS_MISSED, det).store(self.epochs_missed as u64);
+        reg.counter(names::SANITIZED_CELLS, det).store(self.sanitized_cells as u64);
+        reg.counter(names::EM_RESEEDS, det).store(self.em_reseeds as u64);
+        reg.counter(names::DEGENERATE_WINDOWS, det).store(self.degenerate_windows as u64);
+        reg.counter(names::BACKEND_FALLBACKS, det).store(self.backend_fallbacks as u64);
+        reg.counter(names::NODES_MISSED, det).store(self.nodes_missed as u64);
+        reg.gauge(names::PARTIAL_WINDOW, det).set(if self.partial_window { 1.0 } else { 0.0 });
+    }
+
     /// `true` while nothing has ever been quarantined, sanitized,
     /// re-seeded, missed or truncated.
     pub fn is_clean(&self) -> bool {
@@ -198,6 +266,26 @@ mod tests {
             "seen 0 quarantined 0 clamped 0 | epochs 0+0 missed | sanitized 0 | \
              em reseeds 0 degenerate 0 fallbacks 0 | nodes missed 0"
         );
+    }
+
+    #[test]
+    fn health_round_trips_through_a_registry() {
+        let h = PipelineHealth {
+            ingest: IngestSummary { seen: 120, quarantined: 4, clamped: 2 },
+            epochs_ingested: 9,
+            epochs_missed: 1,
+            sanitized_cells: 3,
+            em_reseeds: 2,
+            degenerate_windows: 1,
+            backend_fallbacks: 5,
+            nodes_missed: 6,
+            partial_window: true,
+        };
+        let reg = Registry::new();
+        h.store_into(&reg);
+        assert_eq!(PipelineHealth::from_registry(&reg), h);
+        // A registry that never registered the names reads as default.
+        assert_eq!(PipelineHealth::from_registry(&Registry::new()), PipelineHealth::default());
     }
 
     #[test]

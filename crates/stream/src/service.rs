@@ -27,12 +27,14 @@
 //! the value answered for a given epoch. `crates/stream/tests/service.rs`
 //! pins both properties.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::estimator::{StreamConfig, StreamingEstimator};
 use crate::health::PipelineHealth;
 use dam_core::Pyramid;
 use dam_geo::{Grid2D, Histogram2D, Point};
+use dam_obs::{Counter, Gauge, Histogram as ObsHistogram, LogicalStamp, Plane, Registry};
 use parking_lot::{Mutex, RwLock};
 
 /// One immutable epoch-versioned view of the stream: everything a query
@@ -55,12 +57,51 @@ pub struct Snapshot {
     pub health: PipelineHealth,
 }
 
+/// The service's registered obs handles: per-query counters and latency
+/// histograms, snapshot freshness, pyramid/range-cover accounting.
+struct ServiceObs {
+    queries_point: Counter,
+    queries_range: Counter,
+    queries_heatmap: Counter,
+    query_point_ns: ObsHistogram,
+    query_range_ns: ObsHistogram,
+    query_heatmap_ns: ObsHistogram,
+    snapshot_age_ns: Gauge,
+    snapshot_epoch: Gauge,
+    publish_ns: ObsHistogram,
+    pyramid_nodes: Gauge,
+    range_cover_nodes: ObsHistogram,
+}
+
+impl ServiceObs {
+    fn register(reg: &Registry) -> Self {
+        let det = Plane::Deterministic;
+        let timing = Plane::Timing;
+        Self {
+            queries_point: reg.counter("service_queries_point", det),
+            queries_range: reg.counter("service_queries_range", det),
+            queries_heatmap: reg.counter("service_queries_heatmap", det),
+            query_point_ns: reg.histogram("service_query_point_ns", timing),
+            query_range_ns: reg.histogram("service_query_range_ns", timing),
+            query_heatmap_ns: reg.histogram("service_query_heatmap_ns", timing),
+            snapshot_age_ns: reg.gauge("service_snapshot_age_ns", timing),
+            snapshot_epoch: reg.gauge("service_snapshot_epoch", det),
+            publish_ns: reg.histogram("service_publish_ns", timing),
+            pyramid_nodes: reg.gauge("pyramid_nodes", det),
+            range_cover_nodes: reg.histogram("range_cover_nodes", det),
+        }
+    }
+}
+
 /// A long-lived serve-while-ingesting facade over one
 /// [`StreamingEstimator`]: ingest epochs from one thread while any
 /// number of query threads read the latest published snapshot.
 pub struct QueryService {
     estimator: Mutex<StreamingEstimator>,
     latest: RwLock<Arc<Snapshot>>,
+    obs: Registry,
+    so: ServiceObs,
+    last_publish_ns: AtomicU64,
 }
 
 impl QueryService {
@@ -68,21 +109,41 @@ impl QueryService {
     /// Until the first epoch closes, queries answer from the uniform
     /// (non-informative) snapshot at epoch 0.
     pub fn new(grid: Grid2D, config: StreamConfig) -> Self {
+        Self::with_registry(grid, config, Registry::new())
+    }
+
+    /// [`QueryService::new`] recording into a caller-supplied registry,
+    /// shared with the inner estimator — the harness's seam for
+    /// wall-clocked latency histograms.
+    pub fn with_registry(grid: Grid2D, config: StreamConfig, obs: Registry) -> Self {
         let d = grid.d();
         let n = grid.n_cells() as f64;
         let uniform = Histogram2D::from_values(grid.clone(), vec![1.0 / n; grid.n_cells()]);
+        let pyramid = Pyramid::from_plane(uniform.values(), d);
+        let so = ServiceObs::register(&obs);
+        so.pyramid_nodes
+            .set(pyramid.levels().iter().map(|lv| lv.values().len()).sum::<usize>() as f64);
         let initial = Snapshot {
             epoch: 0,
-            pyramid: Pyramid::from_plane(uniform.values(), d),
+            pyramid,
             estimate: uniform,
             em_iters: 0,
             warm: false,
             health: PipelineHealth::default(),
         };
         Self {
-            estimator: Mutex::new(StreamingEstimator::new(grid, config)),
+            estimator: Mutex::new(StreamingEstimator::with_registry(grid, config, obs.clone())),
             latest: RwLock::new(Arc::new(initial)),
+            obs,
+            so,
+            last_publish_ns: AtomicU64::new(0),
         }
+    }
+
+    /// The service's obs registry (shared with the inner estimator).
+    #[inline]
+    pub fn obs(&self) -> &Registry {
+        &self.obs
     }
 
     /// Ingests one epoch of reports, re-estimates the sliding window,
@@ -122,17 +183,36 @@ impl QueryService {
     }
 
     fn publish(&self, est: &mut StreamingEstimator) {
+        let _span = self.obs.span_at("publish", LogicalStamp::epoch(est.epochs() as u64));
+        let t0 = self.obs.now_ns();
         let window = est.estimate_window();
         let d = window.histogram.grid().d();
+        let pyramid = Pyramid::from_plane(window.histogram.values(), d);
+        self.so
+            .pyramid_nodes
+            .set(pyramid.levels().iter().map(|lv| lv.values().len()).sum::<usize>() as f64);
         let snapshot = Arc::new(Snapshot {
             epoch: est.epochs(),
-            pyramid: Pyramid::from_plane(window.histogram.values(), d),
+            pyramid,
             estimate: window.histogram,
             em_iters: window.em_iters,
             warm: window.warm,
             health: window.health,
         });
         *self.latest.write() = snapshot;
+        let now = self.obs.now_ns();
+        self.so.publish_ns.record(now.saturating_sub(t0));
+        self.so.snapshot_epoch.set(est.epochs() as f64);
+        self.last_publish_ns.store(now, Ordering::Relaxed);
+    }
+
+    /// Timing-plane freshness: how long ago (on the registry's clock)
+    /// the current snapshot was published. Also recorded into the
+    /// `service_snapshot_age_ns` gauge.
+    pub fn snapshot_age_ns(&self) -> u64 {
+        let age = self.obs.now_ns().saturating_sub(self.last_publish_ns.load(Ordering::Relaxed));
+        self.so.snapshot_age_ns.set(age as f64);
+        age
     }
 
     /// The latest published snapshot (cheap: clones an `Arc` under a
@@ -148,15 +228,27 @@ impl QueryService {
 
     /// Point query: the estimated mass of cell `(ix, iy)`.
     pub fn point(&self, ix: u32, iy: u32) -> f64 {
+        let t0 = self.obs.now_ns();
         let snap = self.snapshot();
-        snap.pyramid.cell(ix, iy)
+        let v = snap.pyramid.cell(ix, iy);
+        self.so.queries_point.incr();
+        self.so.query_point_ns.record(self.obs.now_ns().saturating_sub(t0));
+        self.snapshot_age_ns();
+        v
     }
 
     /// Range query: estimated mass of the inclusive cell rectangle,
-    /// answered by the snapshot pyramid's minimal node cover.
+    /// answered by the snapshot pyramid's minimal node cover (the cover
+    /// size is recorded in the `range_cover_nodes` histogram).
     pub fn range(&self, x0: u32, y0: u32, x1: u32, y1: u32) -> f64 {
+        let t0 = self.obs.now_ns();
         let snap = self.snapshot();
-        snap.pyramid.range_sum(x0, y0, x1, y1)
+        let (v, nodes) = snap.pyramid.range_sum_counted(x0, y0, x1, y1);
+        self.so.queries_range.incr();
+        self.so.range_cover_nodes.record(nodes as u64);
+        self.so.query_range_ns.record(self.obs.now_ns().saturating_sub(t0));
+        self.snapshot_age_ns();
+        v
     }
 
     /// Heatmap query: the `side × side` aggregate plane (row-major) from
@@ -164,8 +256,13 @@ impl QueryService {
     /// dyadic levels. Edge-clamped nodes of a non-power-of-two grid hold
     /// their clamped mass (zero past the edge).
     pub fn heatmap(&self, side: u32) -> Option<Vec<f64>> {
+        let t0 = self.obs.now_ns();
         let snap = self.snapshot();
-        snap.pyramid.level_for_side(side).map(|lv| lv.values().to_vec())
+        let hm = snap.pyramid.level_for_side(side).map(|lv| lv.values().to_vec());
+        self.so.queries_heatmap.incr();
+        self.so.query_heatmap_ns.record(self.obs.now_ns().saturating_sub(t0));
+        self.snapshot_age_ns();
+        hm
     }
 
     /// Pipeline health of the latest snapshot.

@@ -1,0 +1,89 @@
+//! The two observability contracts the dam-obs tentpole pins:
+//!
+//! 1. the **deterministic plane** (counters, deterministic gauges and
+//!    histograms, traces, span counts) is bit-identical for any thread
+//!    count — striped counter cells merge in fixed cell order and u64
+//!    adds commute exactly; and
+//! 2. recording is **inert**: enabling or disabling the registry never
+//!    changes a single estimate bit. The metrics are a window onto the
+//!    pipeline, not a participant in it.
+
+use dam_core::DamConfig;
+use dam_fo::em::EmParams;
+use dam_geo::rng::splitmix64;
+use dam_geo::{BoundingBox, Grid2D, Point};
+use dam_stream::{StreamConfig, StreamingEstimator};
+
+fn epoch_points(epoch: usize, n: usize) -> Vec<Point> {
+    let cx = 0.2 + 0.6 * (epoch as f64 / 8.0).fract();
+    (0..n)
+        .map(|i| {
+            let a = splitmix64((epoch as u64) << 32 | i as u64) as f64 / u64::MAX as f64;
+            let b = splitmix64((epoch as u64) << 32 | (i as u64) ^ 0x5EED) as f64 / u64::MAX as f64;
+            Point::new((cx + 0.15 * (a - 0.5)).clamp(0.0, 1.0), (0.3 + 0.3 * b).clamp(0.0, 1.0))
+        })
+        .collect()
+}
+
+fn bits(values: &[f64]) -> Vec<u64> {
+    values.iter().map(|v| v.to_bits()).collect()
+}
+
+fn run(threads: Option<usize>, enabled: bool) -> (String, Vec<u64>) {
+    let dam = DamConfig {
+        em: EmParams { max_iters: 40, rel_tol: 1e-7, gain_tol: 0.0 },
+        ..DamConfig::dam(3.0)
+    }
+    .with_threads(threads);
+    let grid = Grid2D::new(BoundingBox::unit(), 6);
+    let mut s = StreamingEstimator::new(grid, StreamConfig::new(dam, 3, 99));
+    s.obs().set_enabled(enabled);
+    let mut estimates = Vec::new();
+    for e in 0..4 {
+        s.ingest_epoch(&epoch_points(e, 20_000));
+        estimates.extend(bits(s.estimate_window().histogram.values()));
+    }
+    (s.obs().snapshot().deterministic_plane(), estimates)
+}
+
+#[test]
+fn deterministic_plane_is_bit_identical_for_any_thread_count() {
+    let (plane_ref, est_ref) = run(Some(1), true);
+    for threads in [Some(4), None] {
+        let (plane, est) = run(threads, true);
+        assert_eq!(est_ref, est, "estimates diverged at threads {threads:?}");
+        assert_eq!(plane_ref, plane, "deterministic plane diverged at threads {threads:?}");
+    }
+    // The pin is only meaningful if the plane actually carries the
+    // instrumented pipeline: ingest counters, EM iteration histogram,
+    // the per-iteration log-likelihood gain trace, and span counts.
+    for needle in [
+        "counter ingest_reports_seen",
+        "counter em_runs",
+        "hist em_iterations",
+        "trace em_ll_gain",
+        "span ingest count=4",
+        "span em_window count=4",
+    ] {
+        assert!(plane_ref.contains(needle), "deterministic plane lost {needle:?}:\n{plane_ref}");
+    }
+}
+
+#[test]
+fn recording_never_changes_estimate_bits() {
+    // Hostile reading of the tentpole contract: a fully-enabled registry
+    // (spans included) and a disabled one must produce bit-identical
+    // estimates — instrumentation is not allowed to touch the numerics.
+    let (_, with_obs) = run(Some(2), true);
+    let (_, without_obs) = run(Some(2), false);
+    assert_eq!(with_obs, without_obs, "observability perturbed the estimates");
+}
+
+#[test]
+fn disabling_the_registry_stops_spans_but_not_counters() {
+    // `enabled` gates span recording only: counters are the health
+    // surface and must keep counting either way.
+    let (plane, _) = run(Some(1), false);
+    assert!(plane.contains("counter ingest_reports_seen"), "counters must survive disable");
+    assert!(!plane.contains("span ingest"), "spans must not record when disabled:\n{plane}");
+}

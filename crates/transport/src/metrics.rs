@@ -140,6 +140,16 @@ fn cell_unit_support(h: &Histogram2D) -> (Vec<Point>, Vec<f64>) {
     (pts, ws)
 }
 
+/// Bumps the `w2_solver_selected_<label>` counter on the global
+/// registry — the observability record of which concrete solver each W₂
+/// evaluation actually ran (Auto resolves before counting, so `auto`
+/// itself never appears).
+fn note_solver(solver: W2Solver) {
+    dam_obs::global()
+        .counter(&format!("w2_solver_selected_{}", solver.label()), dam_obs::Plane::Deterministic)
+        .incr();
+}
+
 /// `W₂` between two histograms on same-shape grids, in cell units, using
 /// the requested solver.
 pub fn w2(
@@ -155,7 +165,10 @@ pub fn w2(
     // extraction and no cost matrix.
     let solve_grid = |p: SinkhornParams| grid_sinkhorn_cost(a.values(), b.values(), d as usize, p);
     let sq = match method {
-        WassersteinMethod::GridSinkhorn(p) => solve_grid(p)?,
+        WassersteinMethod::GridSinkhorn(p) => {
+            note_solver(W2Solver::Grid);
+            solve_grid(p)?
+        }
         WassersteinMethod::Exact | WassersteinMethod::Sinkhorn(_) => {
             let (pa, wa) = cell_unit_support(a);
             let (pb, wb) = cell_unit_support(b);
@@ -164,8 +177,14 @@ pub fn w2(
             }
             let cost = CostMatrix::euclidean_pow(&pa, &pb, 2);
             match method {
-                WassersteinMethod::Exact => solve_exact(&wa, &wb, &cost)?.cost,
-                WassersteinMethod::Sinkhorn(p) => sinkhorn_cost(&wa, &wb, &cost, p)?,
+                WassersteinMethod::Exact => {
+                    note_solver(W2Solver::Exact);
+                    solve_exact(&wa, &wb, &cost)?.cost
+                }
+                WassersteinMethod::Sinkhorn(p) => {
+                    note_solver(W2Solver::Dense);
+                    sinkhorn_cost(&wa, &wb, &cost, p)?
+                }
                 _ => unreachable!(),
             }
         }
@@ -173,7 +192,10 @@ pub fn w2(
             let m = a.values().iter().filter(|&&v| v > 0.0).count();
             let n = b.values().iter().filter(|&&v| v > 0.0).count();
             match resolve_auto(d, m, n, max_exact_support) {
-                W2Solver::Grid => solve_grid(sinkhorn)?,
+                W2Solver::Grid => {
+                    note_solver(W2Solver::Grid);
+                    solve_grid(sinkhorn)?
+                }
                 resolved => {
                     return w2(a, b, resolved.method(max_exact_support, sinkhorn));
                 }

@@ -95,18 +95,23 @@ pub fn sinkhorn_cost(
     // under the (small) `warm_start_iters` cap; the final stage gets the
     // whole `max_iters`/`tol` budget.
     let mut reg = (0.5 * cmax).max(reg_final);
+    let mut total_iters = 0u64;
     loop {
         let iters = if reg <= reg_final {
             params.max_iters
         } else {
             params.warm_start_iters.min(params.max_iters)
         };
-        sinkhorn_stage(&log_a, &log_b, &c, m, n, reg, iters, params.tol, &mut f, &mut g);
+        total_iters +=
+            sinkhorn_stage(&log_a, &log_b, &c, m, n, reg, iters, params.tol, &mut f, &mut g);
         if reg <= reg_final {
             break;
         }
         reg = (reg * 0.5).max(reg_final);
     }
+    dam_obs::global()
+        .counter("sinkhorn_iterations_total", dam_obs::Plane::Deterministic)
+        .add(total_iters);
 
     // Assemble the (possibly slightly infeasible) coupling, then round it.
     let mut p = vec![0.0f64; m * n];
@@ -122,6 +127,9 @@ pub fn sinkhorn_cost(
 }
 
 /// One ε-scaling stage: alternating log-domain updates at fixed `reg`.
+/// Returns the iterations actually run (early exit on convergence), so
+/// the caller can report real work to the `sinkhorn_iterations_total`
+/// counter rather than the nominal budget.
 #[allow(clippy::too_many_arguments)]
 fn sinkhorn_stage(
     log_a: &[f64],
@@ -134,9 +142,11 @@ fn sinkhorn_stage(
     tol: f64,
     f: &mut [f64],
     g: &mut [f64],
-) {
+) -> u64 {
     let mut scratch = vec![0.0f64; m.max(n)];
+    let mut ran = 0u64;
     for _ in 0..max_iters {
+        ran += 1;
         // f update: f_i = reg * (log a_i - LSE_j((g_j - C_ij)/reg))
         for i in 0..m {
             for (j, s) in scratch[..n].iter_mut().enumerate() {
@@ -162,6 +172,7 @@ fn sinkhorn_stage(
             break;
         }
     }
+    ran
 }
 
 /// Numerically stable log-sum-exp.
